@@ -1,0 +1,41 @@
+# Development targets for the dynp reproduction. Everything is plain Go;
+# the Makefile only bundles the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz repro repro-full ablations clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent pieces (experiment worker pool, RMS server).
+race:
+	$(GO) test -race ./internal/experiment/ ./internal/rms/ .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/swf/
+
+# Reduced-scale reproduction of every table and figure (about 4 minutes).
+repro:
+	$(GO) run ./cmd/paper
+
+# Paper-scale reproduction: 10 sets x 10,000 jobs (about 50 minutes).
+repro-full:
+	$(GO) run ./cmd/paper -full
+
+ablations:
+	$(GO) run ./cmd/paper -ablation all -shrinks 1.0,0.8
+
+clean:
+	$(GO) clean ./...

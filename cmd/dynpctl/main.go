@@ -1,0 +1,118 @@
+// Command dynpctl is the client CLI for a running dynpd daemon: submit
+// jobs, report completions, inspect the live schedule, and drive the
+// virtual clock.
+//
+// Examples:
+//
+//	dynpctl submit -width 8 -estimate 3600
+//	dynpctl status
+//	dynpctl done -id 3
+//	dynpctl cancel -id 5
+//	dynpctl tick -to 7200
+//	dynpctl finished
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynp/internal/job"
+	"dynp/internal/rms"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7677", "dynpd address")
+	width := fs.Int("width", 1, "processors (submit)")
+	estimate := fs.Int64("estimate", 3600, "estimated run time in seconds (submit)")
+	id := fs.Int64("id", 0, "job id (done/cancel/job)")
+	to := fs.Int64("to", 0, "virtual time to advance to (tick)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	c, err := rms.Dial(*addr)
+	fail(err)
+	defer c.Close()
+
+	switch cmd {
+	case "submit":
+		info, err := c.Submit(*width, *estimate)
+		fail(err)
+		fmt.Printf("job %d: %s", info.ID, info.State)
+		if info.State == rms.StateWaiting {
+			fmt.Printf(", planned start t=%d", info.PlannedStart)
+		}
+		fmt.Println()
+	case "done":
+		info, err := c.Done(job.ID(*id))
+		fail(err)
+		fmt.Printf("job %d completed at t=%d (ran %d s)\n",
+			info.ID, info.Finished, info.Finished-info.Started)
+	case "cancel":
+		fail(c.Cancel(job.ID(*id)))
+		fmt.Printf("job %d cancelled\n", *id)
+	case "job":
+		info, err := c.Job(job.ID(*id))
+		fail(err)
+		fmt.Printf("job %d: %s width %d est %d submitted %d planned %d started %d finished %d\n",
+			info.ID, info.State, info.Width, info.Estimate,
+			info.Submitted, info.PlannedStart, info.Started, info.Finished)
+	case "tick":
+		now, err := c.Tick(*to)
+		fail(err)
+		fmt.Printf("clock at t=%d\n", now)
+	case "status":
+		st, err := c.Status()
+		fail(err)
+		fmt.Printf("t=%d  scheduler %s  active policy %s\n", st.Now, st.Scheduler, st.ActivePolicy)
+		fmt.Printf("machine: %d/%d processors busy, %d finished jobs\n",
+			st.UsedProcs, st.Capacity, st.Finished)
+		if len(st.Running) > 0 {
+			fmt.Println("running:")
+			for _, j := range st.Running {
+				fmt.Printf("  job %-5d width %-4d since t=%-8d kill at t=%d\n",
+					j.ID, j.Width, j.Started, j.Started+j.Estimate)
+			}
+		}
+		if len(st.Waiting) > 0 {
+			fmt.Println("waiting (planned starts):")
+			for _, j := range st.Waiting {
+				fmt.Printf("  job %-5d width %-4d est %-8d planned t=%d\n",
+					j.ID, j.Width, j.Estimate, j.PlannedStart)
+			}
+		}
+	case "finished":
+		fin, err := c.Finished()
+		fail(err)
+		for _, j := range fin {
+			fmt.Printf("job %-5d %-9s started %-8d finished %-8d waited %d s\n",
+				j.ID, j.State, j.Started, j.Finished, j.Started-j.Submitted)
+		}
+	case "report":
+		rep, err := c.Report()
+		fail(err)
+		fmt.Printf("t=%d: %d finished jobs (%d killed at estimate)\n", rep.Now, rep.Jobs, rep.Killed)
+		fmt.Printf("SLDwA %.3f  utilization %.2f%%  ART %.0f s  AWT %.0f s  max wait %d s\n",
+			rep.SLDwA, 100*rep.Util, rep.ART, rep.AWT, rep.MaxWait)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dynpctl <submit|done|cancel|job|status|tick|finished|report> [flags]")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynpctl:", err)
+		os.Exit(1)
+	}
+}

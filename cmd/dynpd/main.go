@@ -1,0 +1,101 @@
+// Command dynpd runs the dynP scheduler as an online resource management
+// daemon: a planning-based RMS core speaking newline-delimited JSON over
+// TCP. Clients submit jobs, report completions, and query the live
+// schedule; the daemon kills jobs whose estimates expire, exactly like the
+// CCS system the paper's scheduler was built for.
+//
+// Two clock modes:
+//
+//   - virtual (default): time only moves when a client sends
+//     {"op":"tick","to":T} — fully deterministic, ideal for scripting
+//     and testing.
+//   - real time (-timescale N): every wall-clock second advances the
+//     virtual clock by N seconds.
+//
+// Example session (with netcat):
+//
+//	$ dynpd -procs 64 -scheduler dynP/SJF-preferred &
+//	$ nc localhost 7677
+//	{"op":"submit","width":8,"estimate":3600}
+//	{"ok":true,"job":{"ID":1,...,"State":1},"now":0}
+//	{"op":"status"}
+//	...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynp"
+	"dynp/internal/rms"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7677", "TCP listen address")
+		procs     = flag.Int("procs", 64, "machine size in processors")
+		scheduler = flag.String("scheduler", "dynP/SJF-preferred",
+			"scheduler: FCFS, SJF, LJF, EASY, dynP/simple, dynP/advanced, dynP/<POLICY>-preferred")
+		timescale = flag.Int64("timescale", 0,
+			"real-time mode: virtual seconds per wall-clock second (0 = virtual clock via 'tick')")
+	)
+	flag.Parse()
+
+	spec, err := dynp.ParseSchedulerSpec(*scheduler)
+	fail(err)
+	sched, err := rms.New(*procs, spec.New(), 0)
+	fail(err)
+
+	server := rms.NewServer(sched, *timescale == 0)
+	bound, err := server.Listen(*addr)
+	fail(err)
+	fmt.Fprintf(os.Stderr, "dynpd: %s scheduling %d processors on %s (clock: %s)\n",
+		spec.Name, *procs, bound, clockMode(*timescale))
+
+	stopTicker := make(chan struct{})
+	if *timescale > 0 {
+		go func() {
+			start := time.Now()
+			ticker := time.NewTicker(250 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopTicker:
+					return
+				case <-ticker.C:
+					virtual := int64(time.Since(start).Seconds() * float64(*timescale))
+					if err := sched.Advance(virtual); err != nil {
+						fmt.Fprintf(os.Stderr, "dynpd: clock: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	close(stopTicker)
+	fail(server.Close())
+	st := sched.Status()
+	fmt.Fprintf(os.Stderr, "dynpd: shut down at t=%d, %d finished, %d running, %d waiting\n",
+		st.Now, st.Finished, len(st.Running), len(st.Waiting))
+}
+
+func clockMode(scale int64) string {
+	if scale == 0 {
+		return "virtual, client-driven ticks"
+	}
+	return fmt.Sprintf("real time x%d", scale)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynpd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,238 @@
+// Package dynp is a library reproduction of the self-tuning dynP job
+// scheduler and its decider mechanisms from
+//
+//	A. Streit, "Evaluation of an Unfair Decider Mechanism for the
+//	Self-Tuning dynP Job Scheduler", IPPS/IPDPS 2004.
+//
+// dynP is a scheduler for planning-based resource management systems: at
+// every scheduling event it computes a full schedule (a start time for
+// every waiting job, with implicit backfilling) under each candidate
+// policy — FCFS, SJF and LJF — scores the schedules with a performance
+// metric, and lets a decider pick the policy to execute. The paper's
+// contribution is the unfair "preferred" decider, which sticks to a
+// designated policy unless another is strictly better and switches back as
+// soon as the preferred policy merely equals the incumbent.
+//
+// The package is a facade over the implementation packages: the job model
+// and workload generators, the availability-profile planner, the discrete
+// event simulator, the deciders, the evaluation metrics and the experiment
+// harness that regenerates every table and figure of the paper. A typical
+// use:
+//
+//	set, _ := dynp.CTC.Generate(5000, dynp.NewStream(1))
+//	res, _ := dynp.Simulate(set.Shrink(0.8), dynp.NewDynPScheduler(dynp.PreferredDecider(dynp.SJF)))
+//	fmt.Println(dynp.SLDwA(res), dynp.Utilization(res))
+package dynp
+
+import (
+	"io"
+
+	"dynp/internal/core"
+	"dynp/internal/job"
+	"dynp/internal/metrics"
+	"dynp/internal/policy"
+	"dynp/internal/rng"
+	"dynp/internal/sim"
+	"dynp/internal/swf"
+	"dynp/internal/workload"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Core model types.
+type (
+	// Job is a rigid parallel batch job (submit, width, estimate,
+	// actual run time).
+	Job = job.Job
+	// JobID identifies a job within one set.
+	JobID = job.ID
+	// JobSet is a simulation input: a machine size plus jobs sorted by
+	// submission time. Use Shrink to scale the offered load the way the
+	// paper does.
+	JobSet = job.Set
+	// Policy is a waiting-queue ordering (FCFS, SJF, LJF, ...).
+	Policy = policy.Policy
+	// Stream is a deterministic random number stream.
+	Stream = rng.Stream
+)
+
+// The scheduling policies.
+const (
+	FCFS = policy.FCFS // first come, first serve
+	SJF  = policy.SJF  // shortest job first
+	LJF  = policy.LJF  // longest job first
+	SAF  = policy.SAF  // smallest area first (extension)
+	LAF  = policy.LAF  // largest area first (extension)
+)
+
+// NewStream returns a deterministic random stream for workload generation.
+func NewStream(seed uint64) *Stream { return rng.New(seed) }
+
+// Workload models calibrated to the paper's Table 2.
+type Model = workload.Model
+
+// The four trace models of the paper's evaluation.
+var (
+	CTC  = workload.CTC
+	KTH  = workload.KTH
+	LANL = workload.LANL
+	SDSC = workload.SDSC
+)
+
+// Models returns the four trace models in the paper's order.
+func Models() []Model { return workload.Models() }
+
+// ModelByName looks up a trace model ("CTC", "KTH", "LANL", "SDSC").
+func ModelByName(name string) (Model, error) { return workload.ByName(name) }
+
+// Characteristics summarises a job set with the paper's Table 2 statistics.
+type Characteristics = workload.Characteristics
+
+// Characterize computes Table 2 statistics for a job set.
+func Characterize(s *JobSet) Characteristics { return workload.Characterize(s) }
+
+// PerfectEstimates returns a copy of the set where every estimate equals
+// the actual run time — the upper bound of what better user estimates
+// could buy.
+func PerfectEstimates(s *JobSet) *JobSet { return workload.PerfectEstimates(s) }
+
+// ScaleEstimates returns a copy with every estimate multiplied by factor
+// (clamped below at the actual run time).
+func ScaleEstimates(s *JobSet, factor float64) (*JobSet, error) {
+	return workload.ScaleEstimates(s, factor)
+}
+
+// ConcatenateSets appends b after a with the given submission gap,
+// building workloads with abrupt phase changes.
+func ConcatenateSets(a, b *JobSet, gap int64) (*JobSet, error) {
+	return workload.Concatenate(a, b, gap)
+}
+
+// Deciders.
+type Decider = core.Decider
+
+// SimpleDecider returns the three-if-then-else decider of the earlier dynP
+// papers; Table 1 shows its four wrong decisions.
+func SimpleDecider() Decider { return core.Simple{} }
+
+// AdvancedDecider returns the fair decider implementing the "correct
+// decision" column of the paper's Table 1.
+func AdvancedDecider() Decider { return core.Advanced{} }
+
+// PreferredDecider returns the paper's unfair decider with the given
+// preferred policy (the paper evaluates SJF).
+func PreferredDecider(p Policy) Decider { return core.Preferred{Policy: p} }
+
+// NewDecider parses a decider name: "simple", "advanced" or
+// "<POLICY>-preferred".
+func NewDecider(name string) (Decider, error) { return core.NewDecider(name) }
+
+// DecisionCase classifies one self-tuning decision into the case labels of
+// the paper's Table 1 (see core.CaseOf for the partition used).
+func DecisionCase(old Policy, fcfs, sjf, ljf float64) string {
+	return core.CaseOf(old, fcfs, sjf, ljf)
+}
+
+// CaseCount is one row of a Table 1 case histogram over a decision trace.
+type CaseCount = core.CaseCount
+
+// ClassifyDecisions builds a Table 1 case histogram from a recorded
+// decision trace, connecting the paper's static analysis to observed
+// scheduler behaviour.
+func ClassifyDecisions(trace []Decision) []CaseCount { return core.ClassifyTrace(trace) }
+
+// DecisionMetric selects the score used to compare the what-if schedules
+// of a self-tuning step.
+type DecisionMetric = core.Metric
+
+// The decision metrics; MetricSLDwA is the paper's choice.
+const (
+	MetricSLDwA    = core.MetricSLDwA
+	MetricART      = core.MetricART
+	MetricARTwW    = core.MetricARTwW
+	MetricAWT      = core.MetricAWT
+	MetricMakespan = core.MetricMakespan
+)
+
+// Schedulers and simulation.
+type (
+	// Scheduler plans the full schedule at every scheduling event.
+	Scheduler = sim.Driver
+	// Result is a completed simulation run.
+	Result = sim.Result
+	// Record is the outcome of a single job.
+	Record = sim.Record
+	// SelfTuner exposes the dynP self-tuning core for custom drivers.
+	SelfTuner = core.SelfTuner
+	// SelfTunerStats aggregates the decisions of one run (steps,
+	// switches, per-policy choice counts).
+	SelfTunerStats = core.Stats
+	// Decision is one recorded self-tuning step (requires EnableTrace
+	// on the tuner).
+	Decision = core.Decision
+)
+
+// NewStaticScheduler returns a single-policy scheduler, the paper's
+// baseline ("basic scheduling policies").
+func NewStaticScheduler(p Policy) Scheduler { return &sim.Static{Policy: p} }
+
+// NewDynPScheduler returns the self-tuning dynP scheduler with the given
+// decider, the paper's candidate set {FCFS, SJF, LJF} and the paper's
+// decision metric (planned SLDwA).
+func NewDynPScheduler(d Decider) Scheduler { return sim.NewDynP(d) }
+
+// NewDynPSchedulerWith returns a dynP scheduler with full control over the
+// candidate policies and the decision metric, for ablation studies. A nil
+// candidate slice selects the paper's set.
+func NewDynPSchedulerWith(candidates []Policy, d Decider, m DecisionMetric) Scheduler {
+	return sim.NewDynPWith(candidates, d, m)
+}
+
+// NewEASYScheduler returns the queueing-based EASY-backfilling scheduler
+// (one reservation for the queue head, aggressive backfilling behind it) —
+// the classic contrast to planning-based scheduling discussed in reference
+// [6] of the paper. The original EASY orders its queue FCFS.
+func NewEASYScheduler(base Policy) Scheduler { return &sim.EASY{Base: base} }
+
+// Simulate runs a job set to completion under the given scheduler.
+func Simulate(set *JobSet, s Scheduler) (*Result, error) { return sim.Run(set, s) }
+
+// SimulateVerified additionally re-verifies every schedule against the
+// machine state (slower; for debugging and tests).
+func SimulateVerified(set *JobSet, s Scheduler) (*Result, error) {
+	return sim.Run(set, s, sim.WithVerify())
+}
+
+// Evaluation metrics (paper, Section 4.1).
+
+// SLDwA returns the average slowdown weighted by job area.
+func SLDwA(r *Result) float64 { return metrics.SLDwA(r) }
+
+// BoundedSLDwA returns the area-weighted bounded slowdown with threshold
+// tau seconds (the paper cites tau = 60).
+func BoundedSLDwA(r *Result, tau int64) float64 { return metrics.BoundedSLDwA(r, tau) }
+
+// Utilization returns the machine utilization in [0, 1].
+func Utilization(r *Result) float64 { return metrics.Utilization(r) }
+
+// ART returns the average response time in seconds.
+func ART(r *Result) float64 { return metrics.ART(r) }
+
+// ARTwW returns the average response time weighted by job width.
+func ARTwW(r *Result) float64 { return metrics.ARTwW(r) }
+
+// AWT returns the average waiting time in seconds.
+func AWT(r *Result) float64 { return metrics.AWT(r) }
+
+// SWF trace interchange.
+
+// SWFReadOptions controls ReadSWF.
+type SWFReadOptions = swf.ReadOptions
+
+// ReadSWF parses a Standard Workload Format trace (Parallel Workloads
+// Archive) into a job set.
+func ReadSWF(r io.Reader, opts SWFReadOptions) (*JobSet, error) { return swf.Read(r, opts) }
+
+// WriteSWF emits a job set in Standard Workload Format.
+func WriteSWF(w io.Writer, set *JobSet) error { return swf.Write(w, set) }

@@ -1,0 +1,182 @@
+package dynp_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynp"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	set, err := dynp.KTH.Generate(400, dynp.NewStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set = set.Shrink(0.9)
+	for _, s := range []dynp.Scheduler{
+		dynp.NewStaticScheduler(dynp.SJF),
+		dynp.NewDynPScheduler(dynp.PreferredDecider(dynp.SJF)),
+	} {
+		res, err := dynp.Simulate(set, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := dynp.SLDwA(res); got < 1 {
+			t.Errorf("%s: SLDwA %v < 1", res.Scheduler, got)
+		}
+		if u := dynp.Utilization(res); u <= 0 || u > 1 {
+			t.Errorf("%s: utilization %v", res.Scheduler, u)
+		}
+		if dynp.ART(res) < dynp.AWT(res) {
+			t.Errorf("%s: response below wait", res.Scheduler)
+		}
+		if dynp.BoundedSLDwA(res, 60) > dynp.SLDwA(res)+1e-9 {
+			t.Errorf("%s: bounded slowdown above raw", res.Scheduler)
+		}
+		if dynp.ARTwW(res) <= 0 {
+			t.Errorf("%s: ARTwW not positive", res.Scheduler)
+		}
+	}
+}
+
+func TestDecidersConstructors(t *testing.T) {
+	names := map[dynp.Decider]string{
+		dynp.SimpleDecider():             "simple",
+		dynp.AdvancedDecider():           "advanced",
+		dynp.PreferredDecider(dynp.SJF):  "SJF-preferred",
+		dynp.PreferredDecider(dynp.LJF):  "LJF-preferred",
+		dynp.PreferredDecider(dynp.FCFS): "FCFS-preferred",
+	}
+	for d, want := range names {
+		if d.Name() != want {
+			t.Errorf("decider name = %q, want %q", d.Name(), want)
+		}
+	}
+	if _, err := dynp.NewDecider("SJF-preferred"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSWFRoundTripViaFacade(t *testing.T) {
+	set, err := dynp.SDSC.Generate(100, dynp.NewStream(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dynp.WriteSWF(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dynp.ReadSWF(&buf, dynp.SWFReadOptions{Machine: set.Machine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(set.Jobs) {
+		t.Fatalf("round trip: %d jobs, want %d", len(back.Jobs), len(set.Jobs))
+	}
+}
+
+func TestModelLookup(t *testing.T) {
+	if len(dynp.Models()) != 4 {
+		t.Fatal("expected four trace models")
+	}
+	m, err := dynp.ModelByName("CTC")
+	if err != nil || m.Machine != 430 {
+		t.Fatalf("CTC lookup: %v %v", m.Machine, err)
+	}
+}
+
+func TestCharacterizeViaFacade(t *testing.T) {
+	set, err := dynp.CTC.Generate(500, dynp.NewStream(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dynp.Characterize(set)
+	if c.Jobs != 500 || c.OfferedLoad() <= 0 {
+		t.Fatalf("characteristics: %+v", c)
+	}
+}
+
+func TestExperimentViaFacade(t *testing.T) {
+	cfg := dynp.ExperimentConfig{
+		Shrinks:    []float64{1.0},
+		Sets:       2,
+		JobsPerSet: 150,
+		Seed:       4,
+		Schedulers: dynp.PaperSchedulers(),
+	}
+	results, err := dynp.RunExperiments([]dynp.Model{dynp.KTH}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tb := range []*dynp.Table{
+		dynp.PaperTable4(results, cfg.Shrinks),
+		dynp.PaperTable5(results, cfg.Shrinks),
+		dynp.PaperTable3(results, cfg.Shrinks),
+	} {
+		if err := tb.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !strings.Contains(b.String(), "KTH") {
+		t.Fatal("tables missing trace name")
+	}
+	figs, err := dynp.PaperFigure(results, 3, cfg.Shrinks)
+	if err != nil || len(figs) != 1 {
+		t.Fatalf("figure 3: %v, %d", err, len(figs))
+	}
+}
+
+func TestPaperTables12ViaFacade(t *testing.T) {
+	var b strings.Builder
+	if err := dynp.PaperTable1().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	t2, err := dynp.PaperTable2(dynp.Models(), 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "simple decider") || !strings.Contains(b.String(), "LANL") {
+		t.Fatal("tables incomplete")
+	}
+}
+
+func TestCustomDeciderInterface(t *testing.T) {
+	// A user-defined decider must plug into the scheduler construction.
+	always := alwaysFCFS{}
+	set, err := dynp.KTH.Generate(200, dynp.NewStream(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dynp.Simulate(set, dynp.NewDynPScheduler(always))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PolicyTime[dynp.FCFS] == 0 {
+		t.Fatal("custom decider never applied")
+	}
+}
+
+type alwaysFCFS struct{}
+
+func (alwaysFCFS) Name() string { return "always-FCFS" }
+func (alwaysFCFS) Decide(_ dynp.Policy, _ []dynp.Policy, _ []float64) dynp.Policy {
+	return dynp.FCFS
+}
+
+func TestNewDynPSchedulerWith(t *testing.T) {
+	set, err := dynp.KTH.Generate(200, dynp.NewStream(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dynp.NewDynPSchedulerWith(
+		[]dynp.Policy{dynp.FCFS, dynp.SJF, dynp.LJF, dynp.SAF},
+		dynp.AdvancedDecider(), dynp.MetricART)
+	if _, err := dynp.Simulate(set, s); err != nil {
+		t.Fatal(err)
+	}
+}

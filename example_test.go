@@ -1,0 +1,71 @@
+package dynp_test
+
+import (
+	"fmt"
+
+	"dynp"
+)
+
+// ExampleSimulate runs a tiny hand-built workload under the paper's
+// headline scheduler and reports the two evaluation metrics.
+func ExampleSimulate() {
+	set := &dynp.JobSet{
+		Name:    "tiny",
+		Machine: 4,
+		Jobs: []*dynp.Job{
+			{ID: 1, Submit: 0, Width: 4, Estimate: 100, Runtime: 100},
+			{ID: 2, Submit: 10, Width: 2, Estimate: 200, Runtime: 150},
+			{ID: 3, Submit: 20, Width: 2, Estimate: 50, Runtime: 50},
+		},
+	}
+	res, err := dynp.Simulate(set, dynp.NewDynPScheduler(dynp.PreferredDecider(dynp.SJF)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SLDwA %.3f, utilization %.1f%%\n", dynp.SLDwA(res), 100*dynp.Utilization(res))
+	// Output:
+	// SLDwA 1.425, utilization 80.0%
+}
+
+// ExamplePreferredDecider shows the paper's unfair decision rule in
+// isolation: the preferred policy wins ties, but a strictly better policy
+// still takes over.
+func ExamplePreferredDecider() {
+	d := dynp.PreferredDecider(dynp.SJF)
+	candidates := []dynp.Policy{dynp.FCFS, dynp.SJF, dynp.LJF}
+
+	// SJF merely ties FCFS: the preferred policy is (re)chosen.
+	fmt.Println(d.Decide(dynp.FCFS, candidates, []float64{2.0, 2.0, 3.0}))
+	// FCFS is strictly better: the decider lets go of SJF.
+	fmt.Println(d.Decide(dynp.SJF, candidates, []float64{1.0, 2.0, 3.0}))
+	// Output:
+	// SJF
+	// FCFS
+}
+
+// ExampleJobSet_Shrink demonstrates the paper's workload scaling: factors
+// below one compress the arrival process without changing the jobs.
+func ExampleJobSet_Shrink() {
+	set := &dynp.JobSet{Name: "s", Machine: 1, Jobs: []*dynp.Job{
+		{ID: 1, Submit: 0, Width: 1, Estimate: 10, Runtime: 10},
+		{ID: 2, Submit: 1000, Width: 1, Estimate: 10, Runtime: 10},
+	}}
+	heavier := set.Shrink(0.6)
+	fmt.Println(heavier.Jobs[1].Submit)
+	// Output:
+	// 600
+}
+
+// ExampleModel_Generate synthesises a calibrated workload and prints a
+// Table 2 style statistic.
+func ExampleModel_Generate() {
+	set, err := dynp.LANL.Generate(1000, dynp.NewStream(7))
+	if err != nil {
+		panic(err)
+	}
+	c := dynp.Characterize(set)
+	// LANL/CM-5 widths are powers of two between 32 and 1024.
+	fmt.Println(int(c.Width.Min), int(c.Width.Max))
+	// Output:
+	// 32 1024
+}

@@ -1,0 +1,76 @@
+// Customdecider shows how to extend the library with a user-defined
+// decider: a "sticky" decider that only switches policies when the best
+// alternative beats the incumbent by a configurable margin. Frequent
+// switching has hidden costs on real systems (operator confusion, user
+// surprise); hysteresis trades a little schedule quality for stability.
+// The example compares switch counts and quality against the paper's
+// advanced decider.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynp"
+)
+
+// Sticky is a hysteresis decider: the old policy is kept unless the best
+// candidate improves on it by more than Margin (relative). It implements
+// the dynp.Decider interface.
+type Sticky struct {
+	Margin float64 // e.g. 0.1 = require a 10% improvement to switch
+}
+
+// Name implements dynp.Decider.
+func (s Sticky) Name() string { return fmt.Sprintf("sticky(%.0f%%)", 100*s.Margin) }
+
+// Decide implements dynp.Decider.
+func (s Sticky) Decide(old dynp.Policy, candidates []dynp.Policy, values []float64) dynp.Policy {
+	bestIdx := 0
+	oldIdx := -1
+	for i, p := range candidates {
+		if values[i] < values[bestIdx] {
+			bestIdx = i
+		}
+		if p == old {
+			oldIdx = i
+		}
+	}
+	if oldIdx < 0 {
+		return candidates[bestIdx]
+	}
+	if values[bestIdx] < values[oldIdx]*(1-s.Margin) {
+		return candidates[bestIdx]
+	}
+	return old
+}
+
+func main() {
+	set, err := dynp.SDSC.Generate(3000, dynp.NewStream(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	set = set.Shrink(0.8)
+
+	deciders := []dynp.Decider{
+		dynp.AdvancedDecider(),
+		dynp.PreferredDecider(dynp.SJF),
+		Sticky{Margin: 0.05},
+		Sticky{Margin: 0.25},
+	}
+
+	fmt.Printf("%-28s %10s %8s %10s\n", "decider", "SLDwA", "util", "switches")
+	for _, d := range deciders {
+		sched := dynp.NewDynPScheduler(d)
+		res, err := dynp.Simulate(set, sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switches := "-"
+		if s, ok := sched.(interface{ Stats() dynp.SelfTunerStats }); ok {
+			switches = fmt.Sprintf("%d", s.Stats().Switches)
+		}
+		fmt.Printf("%-28s %10.2f %7.2f%% %10s\n",
+			res.Scheduler, dynp.SLDwA(res), 100*dynp.Utilization(res), switches)
+	}
+}

@@ -1,0 +1,72 @@
+// Modeswitch reproduces the scenario that motivated dynamic policy
+// switching in the first place (the Implicit Voting System of the paper's
+// related work): a machine that alternates between an "interactive" phase
+// of many short jobs and a "batch" phase of few long jobs. A static policy
+// is right for one phase and wrong for the other; the self-tuning dynP
+// scheduler detects the change from the waiting queue itself and switches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynp"
+)
+
+// buildPhases constructs a hand-crafted workload: three day-long phases —
+// interactive (short, narrow, frequent), batch (long, wide, sparse), and
+// interactive again — on a 64-processor machine.
+func buildPhases() *dynp.JobSet {
+	set := &dynp.JobSet{Name: "interactive/batch/interactive", Machine: 64}
+	id := dynp.JobID(0)
+	add := func(submit, est, run int64, width int) {
+		id++
+		set.Jobs = append(set.Jobs, &dynp.Job{
+			ID: id, Submit: submit, Width: width, Estimate: est, Runtime: run,
+		})
+	}
+	const day = 86400
+	// Phase 1: interactive — every 2 minutes a 4-processor, ~10 minute job.
+	for t := int64(0); t < day; t += 120 {
+		add(t, 900, 600, 4)
+	}
+	// Phase 2: batch — every 90 minutes a 32-processor, ~8 hour job.
+	for t := int64(day); t < 2*day; t += 5400 {
+		add(t, 10*3600, 8*3600, 32)
+	}
+	// Phase 3: interactive again.
+	for t := int64(2 * day); t < 3*day; t += 120 {
+		add(t, 900, 600, 4)
+	}
+	return set
+}
+
+func main() {
+	set := buildPhases()
+
+	fmt.Printf("workload: %d jobs over 3 days (interactive / batch / interactive)\n\n", len(set.Jobs))
+	fmt.Printf("%-22s %10s %8s %s\n", "scheduler", "SLDwA", "util", "policy usage")
+	for _, s := range []dynp.Scheduler{
+		dynp.NewStaticScheduler(dynp.SJF),
+		dynp.NewStaticScheduler(dynp.LJF),
+		dynp.NewDynPScheduler(dynp.AdvancedDecider()),
+		dynp.NewDynPScheduler(dynp.PreferredDecider(dynp.SJF)),
+	} {
+		res, err := dynp.Simulate(set, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var span int64
+		for _, d := range res.PolicyTime {
+			span += d
+		}
+		usage := ""
+		for _, p := range []dynp.Policy{dynp.FCFS, dynp.SJF, dynp.LJF} {
+			if d := res.PolicyTime[p]; d > 0 {
+				usage += fmt.Sprintf("%s %.0f%%  ", p, 100*float64(d)/float64(span))
+			}
+		}
+		fmt.Printf("%-22s %10.2f %7.2f%% %s\n",
+			res.Scheduler, dynp.SLDwA(res), 100*dynp.Utilization(res), usage)
+	}
+}

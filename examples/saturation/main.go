@@ -1,0 +1,64 @@
+// Saturation sweeps the shrinking factor the way the paper's Figures 1-4
+// do and renders terminal plots of slowdown and utilization. It makes the
+// saturation effect the paper discusses visible: below some shrinking
+// factor the machine cannot absorb more load, utilization flattens, and
+// jobs "simply wait longer until they are started".
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dynp"
+)
+
+func main() {
+	model := dynp.SDSC // the paper's prime saturation example
+	shrinks := []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5}
+
+	cfg := dynp.ExperimentConfig{
+		Shrinks:    shrinks,
+		Sets:       3,
+		JobsPerSet: 1500,
+		Seed:       99,
+		Schedulers: []dynp.SchedulerSpec{
+			dynp.StaticSpec(dynp.FCFS),
+			dynp.StaticSpec(dynp.SJF),
+			dynp.StaticSpec(dynp.LJF),
+			dynp.DynPSpec(dynp.PreferredDecider(dynp.SJF)),
+		},
+	}
+	results, err := dynp.RunExperiments([]dynp.Model{model}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, metric := range []struct {
+		name string
+		pick func(*dynp.ExperimentCell) float64
+	}{
+		{"SLDwA", func(c *dynp.ExperimentCell) float64 { return c.SLDwA }},
+		{"utilization [%]", func(c *dynp.ExperimentCell) float64 { return 100 * c.Util }},
+	} {
+		fig := &dynp.Figure{
+			Title:  fmt.Sprintf("%s: %s vs shrinking factor", model.Name, metric.name),
+			XLabel: "shrinking factor",
+			YLabel: metric.name,
+		}
+		for _, spec := range cfg.Schedulers {
+			s := dynp.Series{Name: spec.Name}
+			for _, f := range shrinks {
+				if c := results[0].Cell(f, spec.Name); c != nil {
+					s.X = append(s.X, f)
+					s.Y = append(s.Y, metric.pick(c))
+				}
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		if err := fig.ASCII(os.Stdout, 64, 14); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,217 @@
+package dynp_test
+
+import (
+	"strings"
+	"testing"
+
+	"dynp"
+)
+
+func TestPerfectEstimatesImproveOrMatchSJFKnowledge(t *testing.T) {
+	// With perfect estimates SJF orders by true run time; area-weighted
+	// slowdown on a loaded machine should not get dramatically worse.
+	// (This is a sanity check of the transform plumbed end to end, not a
+	// theorem — SJF with perfect estimates can lose on synthetic ties.)
+	set, err := dynp.KTH.Generate(800, dynp.NewStream(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set = set.Shrink(0.8)
+	base, err := dynp.Simulate(set, dynp.NewStaticScheduler(dynp.SJF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect, err := dynp.Simulate(dynp.PerfectEstimates(set), dynp.NewStaticScheduler(dynp.SJF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dynp.SLDwA(perfect) > 3*dynp.SLDwA(base) {
+		t.Fatalf("perfect estimates tripled slowdown: %.2f vs %.2f",
+			dynp.SLDwA(perfect), dynp.SLDwA(base))
+	}
+}
+
+func TestScaleEstimatesEndToEnd(t *testing.T) {
+	set, err := dynp.CTC.Generate(300, dynp.NewStream(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := dynp.ScaleEstimates(set, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dynp.Simulate(scaled, dynp.NewStaticScheduler(dynp.FCFS)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatenatePhaseWorkload(t *testing.T) {
+	short, err := dynp.KTH.Generate(200, dynp.NewStream(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := dynp.KTH.Generate(200, dynp.NewStream(54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := dynp.ConcatenateSets(short, long, 7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dynp.Simulate(both, dynp.NewDynPScheduler(dynp.AdvancedDecider()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 400 {
+		t.Fatalf("completed %d jobs", len(res.Records))
+	}
+}
+
+func TestEASYViaFacade(t *testing.T) {
+	set, err := dynp.SDSC.Generate(400, dynp.NewStream(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dynp.Simulate(set.Shrink(0.8), dynp.NewEASYScheduler(dynp.FCFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != "EASY" {
+		t.Fatalf("scheduler = %q", res.Scheduler)
+	}
+}
+
+func TestGanttViaFacade(t *testing.T) {
+	set, err := dynp.KTH.Generate(100, dynp.NewStream(56))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dynp.Simulate(set, dynp.NewStaticScheduler(dynp.FCFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, err := dynp.NewGanttChart(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := chart.Utilization(), dynp.Utilization(res)
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("chart utilization %v != metric %v", got, want)
+	}
+	var b strings.Builder
+	if err := dynp.WriteScheduleSVG(&b, res, 600, 300); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") {
+		t.Fatal("no SVG output")
+	}
+}
+
+func TestOnlineSchedulerViaFacade(t *testing.T) {
+	s, err := dynp.NewOnlineScheduler(16, dynp.NewDynPScheduler(dynp.PreferredDecider(dynp.SJF)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Submit(16, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.State != dynp.StateRunning {
+		t.Fatalf("a = %+v", a)
+	}
+	b, _ := s.Submit(8, 50)
+	if b.State != dynp.StateWaiting || b.PlannedStart != 100 {
+		t.Fatalf("b = %+v", b)
+	}
+	if err := s.Advance(120); err != nil {
+		t.Fatal(err)
+	}
+	ai, _ := s.Job(a.ID)
+	if ai.State != dynp.StateKilled {
+		t.Fatalf("a should be killed at its estimate: %+v", ai)
+	}
+}
+
+func TestOnlineServerViaFacade(t *testing.T) {
+	s, err := dynp.NewOnlineScheduler(8, dynp.NewStaticScheduler(dynp.FCFS), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := dynp.NewOnlineServer(s, true)
+	addr, err := sv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	if addr.String() == "" {
+		t.Fatal("no bound address")
+	}
+}
+
+func TestSimulateEmptySet(t *testing.T) {
+	set := &dynp.JobSet{Name: "empty", Machine: 4}
+	res, err := dynp.Simulate(set, dynp.NewStaticScheduler(dynp.FCFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 || dynp.Utilization(res) != 0 {
+		t.Fatalf("empty result = %+v", res)
+	}
+}
+
+func TestSimulateSimultaneousBurst(t *testing.T) {
+	// Every job arrives at t=0 on a single processor: strictly
+	// sequential execution under any policy; total runtime is invariant.
+	set := &dynp.JobSet{Name: "burst", Machine: 1}
+	var total int64
+	for i := 1; i <= 50; i++ {
+		run := int64(i)
+		total += run
+		set.Jobs = append(set.Jobs, &dynp.Job{
+			ID: dynp.JobID(i), Submit: 0, Width: 1, Estimate: run, Runtime: run,
+		})
+	}
+	for _, sched := range []dynp.Scheduler{
+		dynp.NewStaticScheduler(dynp.SJF),
+		dynp.NewStaticScheduler(dynp.LJF),
+		dynp.NewDynPScheduler(dynp.AdvancedDecider()),
+	} {
+		res, err := dynp.SimulateVerified(set, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan != total {
+			t.Fatalf("%s: makespan %d, want %d", res.Scheduler, res.Makespan, total)
+		}
+		if u := dynp.Utilization(res); u < 0.999 {
+			t.Fatalf("%s: utilization %v on a gap-free sequence", res.Scheduler, u)
+		}
+	}
+}
+
+func TestFullWidthJobsSerialise(t *testing.T) {
+	set := &dynp.JobSet{Name: "wide", Machine: 64}
+	for i := 1; i <= 10; i++ {
+		set.Jobs = append(set.Jobs, &dynp.Job{
+			ID: dynp.JobID(i), Submit: int64(i), Width: 64, Estimate: 100, Runtime: 100,
+		})
+	}
+	res, err := dynp.SimulateVerified(set, dynp.NewDynPScheduler(dynp.PreferredDecider(dynp.SJF)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i].Start < res.Records[i-1].Finish {
+			t.Fatal("full-width jobs overlapped")
+		}
+	}
+}
+
+func TestDecisionCaseViaFacade(t *testing.T) {
+	if got := dynp.DecisionCase(dynp.SJF, 1, 1, 1); got != "1" {
+		t.Fatalf("case = %q", got)
+	}
+	if got := dynp.DecisionCase(dynp.LJF, 2, 1, 1); got != "10c" {
+		t.Fatalf("case = %q", got)
+	}
+}

@@ -1,0 +1,3 @@
+module dynp
+
+go 1.22

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"dynp/internal/job"
+	"dynp/internal/policy"
+	"dynp/internal/rng"
+)
+
+// BenchmarkDeciders measures the pure decision step (negligible next to
+// schedule construction, quantified here to prove it).
+func BenchmarkDeciders(b *testing.B) {
+	values := []float64{3.2, 2.9, 4.1}
+	for _, d := range []Decider{Simple{}, Advanced{}, Preferred{Policy: policy.SJF}} {
+		b.Run(d.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.Decide(policy.SJF, policy.Candidates, values)
+			}
+		})
+	}
+}
+
+// BenchmarkSelfTuningStep measures one full self-tuning step (three
+// what-if schedules plus decision) at several queue depths.
+func BenchmarkSelfTuningStep(b *testing.B) {
+	for _, queued := range []int{16, 128, 512} {
+		b.Run(map[int]string{16: "queue16", 128: "queue128", 512: "queue512"}[queued], func(b *testing.B) {
+			r := rng.New(5)
+			waiting := make([]*job.Job, queued)
+			for i := range waiting {
+				est := int64(1 + r.Intn(20000))
+				waiting[i] = &job.Job{
+					ID: job.ID(i + 1), Submit: int64(r.Intn(1000)),
+					Width: 1 + r.Intn(128), Estimate: est, Runtime: est,
+				}
+			}
+			st := NewSelfTuner(nil, Advanced{}, MetricSLDwA)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Plan(1000, 128, nil, waiting)
+			}
+		})
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dynp/internal/policy"
+)
+
+// This file classifies live self-tuning decisions into the cases of the
+// paper's Table 1, connecting the static decision analysis to observed
+// scheduler behaviour: a decision trace can be summarised as "how often
+// did each Table 1 case actually occur, and how often would the simple
+// decider have decided wrongly?".
+
+// CaseOf returns the Table 1 case label for a value triple and the old
+// policy. The paper's cases overlap (case 5 equals case 4b, case 2
+// includes the values of case 7, ...); CaseOf returns the most specific
+// label of the partition:
+//
+//	"1"              all three equal
+//	"2", "7"         SJF unique minimum (7 when FCFS = LJF)
+//	"3", "9"         FCFS unique minimum (9 when SJF = LJF)
+//	"4a", "4b/5", "4c"  LJF unique minimum, split by FCFS vs SJF
+//	"6a".."6c"       FCFS = SJF < LJF, split by the old policy
+//	"8a".."8c"       FCFS = LJF < SJF, split by the old policy
+//	"10a".."10c"     SJF = LJF < FCFS, split by the old policy
+func CaseOf(old policy.Policy, f, s, l float64) string {
+	fMin := approxEqual(f, min3(f, s, l))
+	sMin := approxEqual(s, min3(f, s, l))
+	lMin := approxEqual(l, min3(f, s, l))
+	sub := func() string {
+		switch old {
+		case policy.FCFS:
+			return "a"
+		case policy.SJF:
+			return "b"
+		default:
+			return "c"
+		}
+	}
+	switch {
+	case fMin && sMin && lMin:
+		return "1"
+	case sMin && !fMin && !lMin:
+		if approxEqual(f, l) {
+			return "7"
+		}
+		return "2"
+	case fMin && !sMin && !lMin:
+		if approxEqual(s, l) {
+			return "9"
+		}
+		return "3"
+	case lMin && !fMin && !sMin:
+		switch {
+		case approxEqual(f, s):
+			return "4b/5"
+		case f < s:
+			return "4a"
+		default:
+			return "4c"
+		}
+	case fMin && sMin:
+		return "6" + sub()
+	case fMin && lMin:
+		return "8" + sub()
+	default: // sMin && lMin
+		return "10" + sub()
+	}
+}
+
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+// CaseCount is one row of a decision-case histogram.
+type CaseCount struct {
+	Case  string
+	Count int
+	// SimpleWrong reports whether the simple decider decides this case
+	// differently from the correct (advanced) decision.
+	SimpleWrong bool
+}
+
+// caseOrder ranks case labels in the paper's Table 1 order.
+var caseOrder = map[string]int{
+	"1": 0, "2": 1, "3": 2, "4a": 3, "4b/5": 4, "4c": 5,
+	"6a": 6, "6b": 7, "6c": 8, "7": 9, "8a": 10, "8b": 11, "8c": 12,
+	"9": 13, "10a": 14, "10b": 15, "10c": 16,
+}
+
+// ClassifyTrace builds a Table 1 case histogram from a decision trace
+// (recorded with SelfTuner.EnableTrace). Decisions whose candidate set is
+// not the paper's three policies are skipped.
+func ClassifyTrace(trace []Decision) []CaseCount {
+	counts := map[string]int{}
+	wrong := map[string]bool{}
+	for _, d := range trace {
+		if len(d.Values) != 3 {
+			continue
+		}
+		f, s, l := d.Values[0], d.Values[1], d.Values[2]
+		label := CaseOf(d.Old, f, s, l)
+		counts[label]++
+		if ReferenceSimple(f, s, l) != ReferenceCorrect(d.Old, f, s, l) {
+			wrong[label] = true
+		}
+	}
+	out := make([]CaseCount, 0, len(counts))
+	for label, n := range counts {
+		out = append(out, CaseCount{Case: label, Count: n, SimpleWrong: wrong[label]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return caseOrder[out[i].Case] < caseOrder[out[j].Case]
+	})
+	return out
+}
+
+// FormatCases renders a case histogram as text lines.
+func FormatCases(cases []CaseCount, total int) []string {
+	var lines []string
+	for _, c := range cases {
+		mark := ""
+		if c.SimpleWrong {
+			mark = "  (simple decider decides wrongly here)"
+		}
+		lines = append(lines, fmt.Sprintf("case %-5s %7d  (%5.1f%%)%s",
+			c.Case, c.Count, 100*float64(c.Count)/float64(total), mark))
+	}
+	return lines
+}

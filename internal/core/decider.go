@@ -1,0 +1,160 @@
+// Package core implements the paper's contribution: the self-tuning dynP
+// scheduling step and its decider mechanisms. At every scheduling event the
+// self-tuner builds one full what-if schedule per candidate policy, scores
+// each schedule with a performance metric (lower is better), and asks a
+// Decider which policy to activate.
+//
+// Three deciders are provided:
+//
+//   - Simple: the minimum-value policy with a fixed FCFS > SJF > LJF
+//     tie-break. Table 1 of the paper shows it decides wrongly whenever
+//     ties involve the currently active policy (cases 1, 6b, 8c, 10c).
+//   - Advanced (fair): the "correct decision" column of Table 1 — on ties
+//     the old policy wins if it is among the minima.
+//   - Preferred (unfair, the paper's new mechanism): a designated policy is
+//     kept unless another policy is strictly better, and is switched back
+//     to as soon as it is merely equal to the active one.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dynp/internal/policy"
+)
+
+// Tolerance is the relative tolerance under which two schedule scores are
+// considered equal. Identical schedules produce bit-identical floats, but
+// distinct orderings can reach equal plans through different float
+// summation orders, so a small relative band is used.
+const Tolerance = 1e-9
+
+// approxEqual reports whether two scores are equal within Tolerance.
+func approxEqual(a, b float64) bool {
+	return math.Abs(a-b) <= Tolerance*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// Decider chooses the next active policy from per-policy schedule scores.
+type Decider interface {
+	// Name returns a short identifier used in result tables.
+	Name() string
+	// Decide returns the policy to activate. candidates and values are
+	// parallel slices ordered by the canonical candidate order (FCFS,
+	// SJF, LJF for the paper's configuration); lower values are better;
+	// old is the currently active policy.
+	Decide(old policy.Policy, candidates []policy.Policy, values []float64) policy.Policy
+}
+
+// minimal returns the indices of all candidates whose value ties the
+// minimum within Tolerance.
+func minimal(values []float64) []int {
+	if len(values) == 0 {
+		return nil
+	}
+	min := values[0]
+	for _, v := range values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	var idx []int
+	for i, v := range values {
+		if approxEqual(v, min) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Simple is the three-if-then-else decider of [21]: it returns the policy
+// with the minimum value and resolves ties by candidate order, ignoring
+// the active policy entirely.
+type Simple struct{}
+
+// Name implements Decider.
+func (Simple) Name() string { return "simple" }
+
+// Decide implements Decider.
+func (Simple) Decide(_ policy.Policy, candidates []policy.Policy, values []float64) policy.Policy {
+	mins := minimal(values)
+	if len(mins) == 0 {
+		panic("core: Simple.Decide with no candidates")
+	}
+	return candidates[mins[0]]
+}
+
+// Advanced is the fair decider: the unique minimum wins; on ties the old
+// policy is kept when it is among the minima, otherwise the first minimal
+// candidate in canonical order is chosen. This reproduces the "correct
+// decision" column of Table 1 exactly.
+type Advanced struct{}
+
+// Name implements Decider.
+func (Advanced) Name() string { return "advanced" }
+
+// Decide implements Decider.
+func (Advanced) Decide(old policy.Policy, candidates []policy.Policy, values []float64) policy.Policy {
+	mins := minimal(values)
+	if len(mins) == 0 {
+		panic("core: Advanced.Decide with no candidates")
+	}
+	for _, i := range mins {
+		if candidates[i] == old {
+			return old
+		}
+	}
+	return candidates[mins[0]]
+}
+
+// Preferred is the paper's unfair decider. The preferred policy stays
+// active unless another policy is strictly better; when a non-preferred
+// policy is active, equal performance already suffices to switch back to
+// the preferred one. When neither the preferred nor the old policy ties
+// the minimum, the first minimal candidate in canonical order is chosen.
+type Preferred struct {
+	Policy policy.Policy // the preferred policy, SJF in the paper's evaluation
+}
+
+// Name implements Decider.
+func (p Preferred) Name() string { return p.Policy.String() + "-preferred" }
+
+// Decide implements Decider.
+func (p Preferred) Decide(old policy.Policy, candidates []policy.Policy, values []float64) policy.Policy {
+	mins := minimal(values)
+	if len(mins) == 0 {
+		panic("core: Preferred.Decide with no candidates")
+	}
+	for _, i := range mins {
+		if candidates[i] == p.Policy {
+			return p.Policy
+		}
+	}
+	for _, i := range mins {
+		if candidates[i] == old {
+			return old
+		}
+	}
+	return candidates[mins[0]]
+}
+
+// NewDecider constructs a decider from its table name: "simple",
+// "advanced", or "<POLICY>-preferred" (e.g. "SJF-preferred").
+func NewDecider(name string) (Decider, error) {
+	switch name {
+	case "simple":
+		return Simple{}, nil
+	case "advanced":
+		return Advanced{}, nil
+	}
+	var pol string
+	if n, _ := fmt.Sscanf(name, "%s", &pol); n == 1 {
+		const suffix = "-preferred"
+		if len(pol) > len(suffix) && pol[len(pol)-len(suffix):] == suffix {
+			p, err := policy.Parse(pol[:len(pol)-len(suffix)])
+			if err == nil {
+				return Preferred{Policy: p}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: unknown decider %q", name)
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+
+	"dynp/internal/policy"
+)
+
+var candidates = []policy.Policy{policy.FCFS, policy.SJF, policy.LJF}
+
+func decide(d Decider, old policy.Policy, f, s, l float64) policy.Policy {
+	return d.Decide(old, candidates, []float64{f, s, l})
+}
+
+// valueTriples enumerates all order types of three values: every
+// assignment of {1, 2, 3} (with repetition) to (FCFS, SJF, LJF) covers
+// every possible <,=,> relation pattern.
+func valueTriples() [][3]float64 {
+	var out [][3]float64
+	for f := 1; f <= 3; f++ {
+		for s := 1; s <= 3; s++ {
+			for l := 1; l <= 3; l++ {
+				out = append(out, [3]float64{float64(f), float64(s), float64(l)})
+			}
+		}
+	}
+	return out
+}
+
+func TestSimpleMatchesReferenceExhaustively(t *testing.T) {
+	d := Simple{}
+	for _, v := range valueTriples() {
+		for _, old := range candidates {
+			got := decide(d, old, v[0], v[1], v[2])
+			want := ReferenceSimple(v[0], v[1], v[2])
+			if got != want {
+				t.Fatalf("Simple(%v, old=%v) = %v, want %v", v, old, got, want)
+			}
+		}
+	}
+}
+
+func TestAdvancedMatchesReferenceExhaustively(t *testing.T) {
+	d := Advanced{}
+	for _, v := range valueTriples() {
+		for _, old := range candidates {
+			got := decide(d, old, v[0], v[1], v[2])
+			want := ReferenceCorrect(old, v[0], v[1], v[2])
+			if got != want {
+				t.Fatalf("Advanced(%v, old=%v) = %v, want %v", v, old, got, want)
+			}
+		}
+	}
+}
+
+func TestPreferredMatchesReferenceExhaustively(t *testing.T) {
+	for _, pref := range candidates {
+		d := Preferred{Policy: pref}
+		for _, v := range valueTriples() {
+			for _, old := range candidates {
+				got := decide(d, old, v[0], v[1], v[2])
+				want := ReferencePreferred(pref, old, v[0], v[1], v[2])
+				if got != want {
+					t.Fatalf("Preferred(%v)(%v, old=%v) = %v, want %v",
+						pref, v, old, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSimpleIgnoresOldPolicy(t *testing.T) {
+	d := Simple{}
+	for _, v := range valueTriples() {
+		first := decide(d, policy.FCFS, v[0], v[1], v[2])
+		for _, old := range candidates[1:] {
+			if got := decide(d, old, v[0], v[1], v[2]); got != first {
+				t.Fatalf("Simple depends on old policy at %v", v)
+			}
+		}
+	}
+}
+
+func TestAdvancedKeepsOldOnTies(t *testing.T) {
+	d := Advanced{}
+	for _, old := range candidates {
+		if got := decide(d, old, 1, 1, 1); got != old {
+			t.Errorf("all-equal: Advanced(old=%v) = %v, want old", old, got)
+		}
+	}
+	// Case 6b of Table 1: FCFS = SJF < LJF, old = SJF -> stay with SJF.
+	if got := decide(d, policy.SJF, 1, 1, 2); got != policy.SJF {
+		t.Errorf("case 6b: got %v, want SJF", got)
+	}
+	// Case 8c: FCFS = LJF < SJF, old = LJF -> stay with LJF.
+	if got := decide(d, policy.LJF, 1, 2, 1); got != policy.LJF {
+		t.Errorf("case 8c: got %v, want LJF", got)
+	}
+	// Case 10c: SJF = LJF < FCFS, old = LJF -> stay with LJF.
+	if got := decide(d, policy.LJF, 2, 1, 1); got != policy.LJF {
+		t.Errorf("case 10c: got %v, want LJF", got)
+	}
+}
+
+func TestAdvancedStrictMinimumAlwaysWins(t *testing.T) {
+	d := Advanced{}
+	for _, old := range candidates {
+		if got := decide(d, old, 2, 1, 3); got != policy.SJF {
+			t.Errorf("strict SJF min, old=%v: got %v", old, got)
+		}
+		if got := decide(d, old, 1, 2, 3); got != policy.FCFS {
+			t.Errorf("strict FCFS min, old=%v: got %v", old, got)
+		}
+		if got := decide(d, old, 3, 2, 1); got != policy.LJF {
+			t.Errorf("strict LJF min, old=%v: got %v", old, got)
+		}
+	}
+}
+
+func TestPreferredPaperSemantics(t *testing.T) {
+	d := Preferred{Policy: policy.SJF}
+
+	// Stays with SJF when merely equal to the best.
+	if got := decide(d, policy.SJF, 1, 1, 2); got != policy.SJF {
+		t.Errorf("SJF tied with FCFS while active: got %v, want SJF", got)
+	}
+	// Switches away only when another policy is strictly better.
+	if got := decide(d, policy.SJF, 1, 2, 3); got != policy.FCFS {
+		t.Errorf("FCFS strictly better: got %v, want FCFS", got)
+	}
+	// Switches back on equality: FCFS active, SJF ties FCFS.
+	if got := decide(d, policy.FCFS, 1, 1, 2); got != policy.SJF {
+		t.Errorf("equal performance must switch back to SJF: got %v", got)
+	}
+	// All equal: back to the preferred policy regardless of old.
+	for _, old := range candidates {
+		if got := decide(d, old, 1, 1, 1); got != policy.SJF {
+			t.Errorf("all equal, old=%v: got %v, want SJF", old, got)
+		}
+	}
+	// Preferred not minimal and old not minimal: best policy wins.
+	if got := decide(d, policy.SJF, 3, 2, 1); got != policy.LJF {
+		t.Errorf("LJF strict min: got %v, want LJF", got)
+	}
+	// Preferred not minimal but old is: old retained (fair fallback).
+	if got := decide(d, policy.LJF, 1, 2, 1); got != policy.LJF {
+		t.Errorf("old ties min without SJF: got %v, want LJF", got)
+	}
+}
+
+func TestPreferredDiffersFromAdvancedExactlyOnPreferredTies(t *testing.T) {
+	adv, pref := Advanced{}, Preferred{Policy: policy.SJF}
+	for _, v := range valueTriples() {
+		for _, old := range candidates {
+			a := decide(adv, old, v[0], v[1], v[2])
+			p := decide(pref, old, v[0], v[1], v[2])
+			if a == p {
+				continue
+			}
+			// They may only differ when SJF ties the minimum and the
+			// advanced decider chose something else.
+			min := v[0]
+			if v[1] < min {
+				min = v[1]
+			}
+			if v[2] < min {
+				min = v[2]
+			}
+			if v[1] != min || p != policy.SJF {
+				t.Fatalf("unexpected divergence at %v old=%v: adv=%v pref=%v",
+					v, old, a, p)
+			}
+		}
+	}
+}
+
+func TestToleranceTreatsNearEqualAsTie(t *testing.T) {
+	d := Advanced{}
+	// Values differing by less than the relative tolerance are ties.
+	v := 100.0
+	got := d.Decide(policy.LJF, candidates, []float64{v, v * (1 + 1e-12), v})
+	if got != policy.LJF {
+		t.Fatalf("near-tie not detected: got %v", got)
+	}
+}
+
+func TestNewDecider(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"simple", "simple"},
+		{"advanced", "advanced"},
+		{"SJF-preferred", "SJF-preferred"},
+		{"FCFS-preferred", "FCFS-preferred"},
+		{"LJF-preferred", "LJF-preferred"},
+	}
+	for _, c := range cases {
+		d, err := NewDecider(c.name)
+		if err != nil {
+			t.Errorf("NewDecider(%q): %v", c.name, err)
+			continue
+		}
+		if d.Name() != c.want {
+			t.Errorf("NewDecider(%q).Name() = %q", c.name, d.Name())
+		}
+	}
+	for _, bad := range []string{"", "unknown", "XXX-preferred", "-preferred"} {
+		if _, err := NewDecider(bad); err == nil {
+			t.Errorf("NewDecider(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDecidersPanicOnEmptyCandidates(t *testing.T) {
+	for _, d := range []Decider{Simple{}, Advanced{}, Preferred{Policy: policy.SJF}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on empty candidates", d.Name())
+				}
+			}()
+			d.Decide(policy.FCFS, nil, nil)
+		}()
+	}
+}

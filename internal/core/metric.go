@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"dynp/internal/plan"
+)
+
+// Metric selects the performance measure used to score the what-if
+// schedules of a self-tuning step. All metrics are oriented so that lower
+// values are better; utilization-style measures are therefore expressed
+// through the planned makespan (a shorter plan packs the same work more
+// densely, i.e. achieves a higher utilization).
+type Metric int
+
+// The decision metrics. MetricSLDwA is the paper's choice.
+const (
+	MetricSLDwA    Metric = iota // planned slowdown weighted by job area
+	MetricART                    // planned average response time
+	MetricARTwW                  // planned average response time weighted by width
+	MetricAWT                    // planned average waiting time
+	MetricMakespan               // planned makespan (utilization proxy)
+	numMetrics
+)
+
+var metricNames = [numMetrics]string{"SLDwA", "ART", "ARTwW", "AWT", "makespan"}
+
+// String returns the metric's table name.
+func (m Metric) String() string {
+	if m < 0 || m >= numMetrics {
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+	return metricNames[m]
+}
+
+// ParseMetric converts a table name such as "SLDwA" into a Metric.
+func ParseMetric(s string) (Metric, error) {
+	for i, n := range metricNames {
+		if n == s {
+			return Metric(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown metric %q", s)
+}
+
+// Score evaluates a planned schedule. Lower is better for every metric.
+func (m Metric) Score(s *plan.Schedule) float64 {
+	switch m {
+	case MetricSLDwA:
+		return s.PlannedSLDwA()
+	case MetricART:
+		return s.PlannedART()
+	case MetricARTwW:
+		return s.PlannedARTwW()
+	case MetricAWT:
+		return s.PlannedAWT()
+	case MetricMakespan:
+		return s.PlannedMakespan()
+	default:
+		panic(fmt.Sprintf("core: Score on invalid metric %d", int(m)))
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"dynp/internal/policy"
+)
+
+// This file reproduces Table 1 of the paper — the detailed analysis of the
+// simple decider — as data plus two reference decision functions written
+// directly from the paper's prose, independently of the Decider
+// implementations in decider.go. The test suite cross-checks the two
+// implementations against each other over every case.
+
+// Table1Row is one printable row of the paper's Table 1.
+type Table1Row struct {
+	Case         string        // e.g. "1", "4a", "6b"
+	Combination  string        // the value relations, paper notation
+	OldSpecific  bool          // row constrains the old policy
+	Old          policy.Policy // meaningful when OldSpecific
+	Simple       policy.Policy // decision of the simple decider
+	Correct      policy.Policy // the correct decision (meaningful unless CorrectIsOld)
+	CorrectIsOld bool          // correct decision is "old policy", any old
+	Wrong        bool          // simple decider decides wrongly (bold in the paper)
+	F, S, L      float64       // representative value triple for the case
+}
+
+// Table1 returns the paper's Table 1 rows in order. Wrong rows are exactly
+// the four cases 1, 6b, 8c and 10c the paper calls out.
+func Table1() []Table1Row {
+	f, s, l := policy.FCFS, policy.SJF, policy.LJF
+	return []Table1Row{
+		{Case: "1", Combination: "FCFS = SJF = LJF", Simple: f, CorrectIsOld: true, Wrong: true, F: 1, S: 1, L: 1},
+		{Case: "2", Combination: "SJF < FCFS, SJF < LJF", Simple: s, Correct: s, F: 3, S: 1, L: 2},
+		{Case: "3", Combination: "FCFS < SJF, FCFS < LJF", Simple: f, Correct: f, F: 1, S: 3, L: 2},
+		{Case: "4a", Combination: "LJF < FCFS, LJF < SJF; FCFS < SJF", Simple: l, Correct: l, F: 2, S: 3, L: 1},
+		{Case: "4b", Combination: "LJF < FCFS, LJF < SJF; FCFS = SJF", Simple: l, Correct: l, F: 2, S: 2, L: 1},
+		{Case: "4c", Combination: "LJF < FCFS, LJF < SJF; FCFS > SJF", Simple: l, Correct: l, F: 3, S: 2, L: 1},
+		{Case: "5", Combination: "FCFS = SJF, LJF < FCFS", Simple: l, Correct: l, F: 2, S: 2, L: 1},
+		{Case: "6a", Combination: "FCFS = SJF, FCFS < LJF; old = FCFS", OldSpecific: true, Old: f, Simple: f, Correct: f, F: 1, S: 1, L: 2},
+		{Case: "6b", Combination: "FCFS = SJF, FCFS < LJF; old = SJF", OldSpecific: true, Old: s, Simple: f, Correct: s, Wrong: true, F: 1, S: 1, L: 2},
+		{Case: "6c", Combination: "FCFS = SJF, FCFS < LJF; old = LJF", OldSpecific: true, Old: l, Simple: f, Correct: f, F: 1, S: 1, L: 2},
+		{Case: "7", Combination: "FCFS = LJF, SJF < FCFS", Simple: s, Correct: s, F: 2, S: 1, L: 2},
+		{Case: "8a", Combination: "FCFS = LJF, FCFS < SJF; old = FCFS", OldSpecific: true, Old: f, Simple: f, Correct: f, F: 1, S: 2, L: 1},
+		{Case: "8b", Combination: "FCFS = LJF, FCFS < SJF; old = SJF", OldSpecific: true, Old: s, Simple: f, Correct: f, F: 1, S: 2, L: 1},
+		{Case: "8c", Combination: "FCFS = LJF, FCFS < SJF; old = LJF", OldSpecific: true, Old: l, Simple: f, Correct: l, Wrong: true, F: 1, S: 2, L: 1},
+		{Case: "9", Combination: "SJF = LJF, FCFS < SJF", Simple: f, Correct: f, F: 1, S: 2, L: 2},
+		{Case: "10a", Combination: "SJF = LJF, SJF < FCFS; old = FCFS", OldSpecific: true, Old: f, Simple: s, Correct: s, F: 2, S: 1, L: 1},
+		{Case: "10b", Combination: "SJF = LJF, SJF < FCFS; old = SJF", OldSpecific: true, Old: s, Simple: s, Correct: s, F: 2, S: 1, L: 1},
+		{Case: "10c", Combination: "SJF = LJF, SJF < FCFS; old = LJF", OldSpecific: true, Old: l, Simple: s, Correct: l, Wrong: true, F: 2, S: 1, L: 1},
+	}
+}
+
+// ReferenceSimple is the simple decider transcribed from the paper's
+// description as three if-then-else constructs over the raw values. It
+// favours FCFS, then SJF, then LJF on ties and ignores the old policy.
+func ReferenceSimple(f, s, l float64) policy.Policy {
+	if f <= s && f <= l {
+		return policy.FCFS
+	}
+	if s <= l {
+		return policy.SJF
+	}
+	return policy.LJF
+}
+
+// ReferenceCorrect is the "correct decision" column of Table 1 transcribed
+// from first principles: the unique minimum wins; on ties the old policy is
+// kept when it participates in the minimum, otherwise FCFS is preferred
+// over SJF over LJF.
+func ReferenceCorrect(old policy.Policy, f, s, l float64) policy.Policy {
+	min := f
+	if s < min {
+		min = s
+	}
+	if l < min {
+		min = l
+	}
+	inMin := func(v float64) bool { return v == min }
+	switch {
+	case old == policy.FCFS && inMin(f),
+		old == policy.SJF && inMin(s),
+		old == policy.LJF && inMin(l):
+		return old
+	case inMin(f):
+		return policy.FCFS
+	case inMin(s):
+		return policy.SJF
+	default:
+		return policy.LJF
+	}
+}
+
+// ReferencePreferred transcribes the preferred decider's prose: stay with
+// the preferred policy unless another is strictly better; switch back to
+// the preferred policy as soon as it is at least equal to the minimum;
+// otherwise behave like ReferenceCorrect.
+func ReferencePreferred(pref, old policy.Policy, f, s, l float64) policy.Policy {
+	min := f
+	if s < min {
+		min = s
+	}
+	if l < min {
+		min = l
+	}
+	valueOf := func(p policy.Policy) float64 {
+		switch p {
+		case policy.FCFS:
+			return f
+		case policy.SJF:
+			return s
+		default:
+			return l
+		}
+	}
+	if valueOf(pref) == min {
+		return pref
+	}
+	return ReferenceCorrect(old, f, s, l)
+}

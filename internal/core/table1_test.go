@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"dynp/internal/policy"
+)
+
+// TestTable1Reproduction checks every row of the paper's Table 1 against
+// the Decider implementations: the simple column against Simple, the
+// correct column against Advanced.
+func TestTable1Reproduction(t *testing.T) {
+	for _, row := range Table1() {
+		olds := candidates
+		if row.OldSpecific {
+			olds = []policy.Policy{row.Old}
+		}
+		for _, old := range olds {
+			gotSimple := Simple{}.Decide(old, candidates, []float64{row.F, row.S, row.L})
+			if gotSimple != row.Simple {
+				t.Errorf("case %s: simple decider = %v, want %v", row.Case, gotSimple, row.Simple)
+			}
+			gotCorrect := Advanced{}.Decide(old, candidates, []float64{row.F, row.S, row.L})
+			wantCorrect := row.Correct
+			if row.CorrectIsOld {
+				wantCorrect = old
+			}
+			if gotCorrect != wantCorrect {
+				t.Errorf("case %s (old=%v): advanced decider = %v, want %v",
+					row.Case, old, gotCorrect, wantCorrect)
+			}
+		}
+	}
+}
+
+// TestTable1WrongCases verifies the paper's claim that the simple decider
+// makes a wrong decision in exactly four cases: 1, 6b, 8c and 10c, with
+// FCFS favoured in three of them and SJF in one.
+func TestTable1WrongCases(t *testing.T) {
+	wrong := map[string]bool{}
+	favoured := map[policy.Policy]int{}
+	for _, row := range Table1() {
+		if row.Wrong {
+			wrong[row.Case] = true
+			favoured[row.Simple]++
+		}
+	}
+	want := []string{"1", "6b", "8c", "10c"}
+	if len(wrong) != len(want) {
+		t.Fatalf("wrong cases = %v, want %v", wrong, want)
+	}
+	for _, c := range want {
+		if !wrong[c] {
+			t.Errorf("case %s not marked wrong", c)
+		}
+	}
+	if favoured[policy.FCFS] != 3 || favoured[policy.SJF] != 1 {
+		t.Errorf("favoured = %v, want FCFS:3 SJF:1", favoured)
+	}
+}
+
+// TestTable1RowsConsistent checks that each row's representative value
+// triple actually satisfies the relation its combination describes, by
+// confirming the Wrong flag equals (simple != correct).
+func TestTable1RowsConsistent(t *testing.T) {
+	for _, row := range Table1() {
+		olds := candidates
+		if row.OldSpecific {
+			olds = []policy.Policy{row.Old}
+		}
+		anyWrong := false
+		for _, old := range olds {
+			want := row.Correct
+			if row.CorrectIsOld {
+				want = old
+			}
+			if ReferenceSimple(row.F, row.S, row.L) != want {
+				anyWrong = true
+			}
+		}
+		if anyWrong != row.Wrong {
+			t.Errorf("case %s: computed wrongness %v, table says %v",
+				row.Case, anyWrong, row.Wrong)
+		}
+	}
+}

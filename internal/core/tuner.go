@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"dynp/internal/job"
+	"dynp/internal/plan"
+	"dynp/internal/policy"
+)
+
+// Decision records one self-tuning step for auditing and the
+// policy-usage statistics reported by the experiment harness.
+type Decision struct {
+	Time   int64
+	Old    policy.Policy
+	Chosen policy.Policy
+	Values []float64 // scores in candidate order
+}
+
+// Stats aggregates the decisions of one simulation run.
+type Stats struct {
+	Steps    int                   // self-tuning steps performed
+	Switches int                   // steps that changed the active policy
+	Chosen   map[policy.Policy]int // how often each policy was chosen
+}
+
+// SelfTuner is the self-tuning dynP scheduler core. At every scheduling
+// event, Plan builds a full what-if schedule per candidate policy, scores
+// them with Metric and lets Decider pick the policy whose schedule is
+// executed. The zero value is not usable; construct with NewSelfTuner.
+type SelfTuner struct {
+	candidates []policy.Policy
+	decider    Decider
+	metric     Metric
+	active     policy.Policy
+	stats      Stats
+	trace      []Decision // populated only when Trace is enabled
+	traceOn    bool
+}
+
+// NewSelfTuner returns a self-tuner over the given candidate policies
+// (the paper's set policy.Candidates when nil), starting with the first
+// candidate as the active policy.
+func NewSelfTuner(candidates []policy.Policy, d Decider, m Metric) *SelfTuner {
+	if len(candidates) == 0 {
+		candidates = policy.Candidates
+	}
+	if d == nil {
+		panic("core: NewSelfTuner with nil decider")
+	}
+	cs := append([]policy.Policy(nil), candidates...)
+	return &SelfTuner{
+		candidates: cs,
+		decider:    d,
+		metric:     m,
+		active:     cs[0],
+		stats:      Stats{Chosen: make(map[policy.Policy]int)},
+	}
+}
+
+// SetActive overrides the active policy, e.g. to start an experiment from
+// a defined policy. It panics when p is not a candidate.
+func (t *SelfTuner) SetActive(p policy.Policy) {
+	for _, c := range t.candidates {
+		if c == p {
+			t.active = p
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: SetActive(%v) is not a candidate", p))
+}
+
+// Active returns the currently active policy.
+func (t *SelfTuner) Active() policy.Policy { return t.active }
+
+// Candidates returns the candidate policies in canonical order.
+func (t *SelfTuner) Candidates() []policy.Policy {
+	return append([]policy.Policy(nil), t.candidates...)
+}
+
+// EnableTrace makes Plan record every Decision; retrieve them with Trace.
+func (t *SelfTuner) EnableTrace() { t.traceOn = true }
+
+// Trace returns the recorded decisions (nil unless EnableTrace was called).
+func (t *SelfTuner) Trace() []Decision { return t.trace }
+
+// Stats returns the aggregated decision statistics so far.
+func (t *SelfTuner) Stats() Stats {
+	s := t.stats
+	s.Chosen = make(map[policy.Policy]int, len(t.stats.Chosen))
+	for k, v := range t.stats.Chosen {
+		s.Chosen[k] = v
+	}
+	return s
+}
+
+// Plan performs one self-tuning dynP step: build a what-if schedule per
+// candidate policy, score each, decide, and return the schedule of the
+// chosen policy (reused, not rebuilt). The chosen policy becomes active.
+func (t *SelfTuner) Plan(now int64, capacity int, running []plan.Running, waiting []*job.Job) *plan.Schedule {
+	schedules := make([]*plan.Schedule, len(t.candidates))
+	values := make([]float64, len(t.candidates))
+	for i, p := range t.candidates {
+		schedules[i] = plan.Build(now, capacity, running, waiting, p)
+		values[i] = t.metric.Score(schedules[i])
+	}
+	chosen := t.decider.Decide(t.active, t.candidates, values)
+
+	t.stats.Steps++
+	t.stats.Chosen[chosen]++
+	if chosen != t.active {
+		t.stats.Switches++
+	}
+	if t.traceOn {
+		t.trace = append(t.trace, Decision{
+			Time: now, Old: t.active, Chosen: chosen,
+			Values: append([]float64(nil), values...),
+		})
+	}
+	t.active = chosen
+
+	for i, p := range t.candidates {
+		if p == chosen {
+			return schedules[i]
+		}
+	}
+	panic(fmt.Sprintf("core: decider %s returned non-candidate %v", t.decider.Name(), chosen))
+}

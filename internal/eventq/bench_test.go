@@ -1,0 +1,22 @@
+package eventq
+
+import (
+	"testing"
+
+	"dynp/internal/rng"
+)
+
+// BenchmarkPushPop measures steady-state heap churn at simulator-typical
+// queue sizes.
+func BenchmarkPushPop(b *testing.B) {
+	r := rng.New(1)
+	var q Queue[int]
+	for i := 0; i < 1024; i++ {
+		q.Push(int64(r.Intn(1<<20)), 0, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, _ := q.Pop()
+		q.Push(ev.Time+int64(r.Intn(1000)), 0, ev.Payload)
+	}
+}

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dynp/internal/core"
+	"dynp/internal/policy"
+	"dynp/internal/sim"
+	"dynp/internal/table"
+)
+
+// Ablation identifies one of the design-choice studies listed in
+// DESIGN.md, each comparing scheduler variants beyond the paper's five.
+type Ablation string
+
+// The ablation studies.
+const (
+	// AblationPreferred compares preferring each candidate policy (the
+	// paper evaluates only SJF-preferred).
+	AblationPreferred Ablation = "pref"
+	// AblationDecider compares the three decider generations end to
+	// end, quantifying the cost of the simple decider's Table 1 errors.
+	AblationDecider Ablation = "decider"
+	// AblationMetric compares self-tuning decision metrics.
+	AblationMetric Ablation = "metric"
+	// AblationQueueing contrasts planning-based scheduling with the
+	// queueing-based EASY backfilling of reference [6].
+	AblationQueueing Ablation = "easy"
+	// AblationCandidates extends the candidate set with the
+	// area-ordered policies.
+	AblationCandidates Ablation = "candidates"
+)
+
+// Ablations lists all implemented ablation studies.
+func Ablations() []Ablation {
+	return []Ablation{AblationPreferred, AblationDecider, AblationMetric,
+		AblationQueueing, AblationCandidates}
+}
+
+// Schedulers returns the scheduler set of the ablation study.
+func (a Ablation) Schedulers() ([]SchedulerSpec, error) {
+	switch a {
+	case AblationPreferred:
+		return []SchedulerSpec{
+			DynPSpec(core.Advanced{}),
+			DynPSpec(core.Preferred{Policy: policy.FCFS}),
+			DynPSpec(core.Preferred{Policy: policy.SJF}),
+			DynPSpec(core.Preferred{Policy: policy.LJF}),
+		}, nil
+	case AblationDecider:
+		return []SchedulerSpec{
+			DynPSpec(core.Simple{}),
+			DynPSpec(core.Advanced{}),
+			DynPSpec(core.Preferred{Policy: policy.SJF}),
+		}, nil
+	case AblationMetric:
+		return []SchedulerSpec{
+			DynPMetricSpec(core.Advanced{}, core.MetricSLDwA),
+			DynPMetricSpec(core.Advanced{}, core.MetricART),
+			DynPMetricSpec(core.Advanced{}, core.MetricARTwW),
+			DynPMetricSpec(core.Advanced{}, core.MetricMakespan),
+		}, nil
+	case AblationQueueing:
+		return []SchedulerSpec{
+			StaticSpec(policy.FCFS),
+			EASYSpec(policy.FCFS),
+			DynPSpec(core.Preferred{Policy: policy.SJF}),
+		}, nil
+	case AblationCandidates:
+		return []SchedulerSpec{
+			DynPSpec(core.Advanced{}),
+			{
+				Name: "dynP/advanced+areas",
+				New: func() sim.Driver {
+					return sim.NewDynPWith(policy.All, core.Advanced{}, core.MetricSLDwA)
+				},
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown ablation %q (want one of %v)", a, Ablations())
+	}
+}
+
+// Title returns a human-readable description for table headers.
+func (a Ablation) Title() string {
+	switch a {
+	case AblationPreferred:
+		return "preferred-policy ablation: which policy should the unfair decider prefer?"
+	case AblationDecider:
+		return "decider ablation: end-to-end cost of the simple decider's wrong decisions"
+	case AblationMetric:
+		return "decision-metric ablation: what should the self-tuning step optimise?"
+	case AblationQueueing:
+		return "queueing vs planning: EASY backfilling against planning-based scheduling"
+	case AblationCandidates:
+		return "candidate-set ablation: paper set vs area-ordered extensions"
+	default:
+		return string(a)
+	}
+}
+
+// Comparison renders a generic scheduler-comparison table over sweep
+// results: one row per trace and shrinking factor, SLDwA and utilization
+// columns per scheduler.
+func Comparison(title string, results []*Result, shrinks []float64, schedulers []string) *table.Table {
+	headers := []string{"trace", "shrink"}
+	for _, s := range schedulers {
+		headers = append(headers, "SLDwA "+s)
+	}
+	for _, s := range schedulers {
+		headers = append(headers, "util% "+s)
+	}
+	t := table.New(title, headers...)
+	for _, r := range results {
+		for _, f := range shrinks {
+			cells := []any{r.Model.Name, fmt.Sprintf("%.1f", f)}
+			ok := true
+			for _, s := range schedulers {
+				c := r.Cell(f, s)
+				if c == nil {
+					ok = false
+					break
+				}
+				cells = append(cells, c.SLDwA)
+			}
+			for _, s := range schedulers {
+				c := r.Cell(f, s)
+				if c == nil {
+					ok = false
+					break
+				}
+				cells = append(cells, 100*c.Util)
+			}
+			if ok {
+				t.AddRowf(cells...)
+			}
+		}
+		t.AddSeparator()
+	}
+	return t
+}

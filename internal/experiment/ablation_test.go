@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"dynp/internal/workload"
+)
+
+func TestAblationSchedulers(t *testing.T) {
+	wantCounts := map[Ablation]int{
+		AblationPreferred:  4,
+		AblationDecider:    3,
+		AblationMetric:     4,
+		AblationQueueing:   3,
+		AblationCandidates: 2,
+	}
+	for _, a := range Ablations() {
+		specs, err := a.Schedulers()
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if len(specs) != wantCounts[a] {
+			t.Errorf("%s: %d schedulers, want %d", a, len(specs), wantCounts[a])
+		}
+		seen := map[string]bool{}
+		for _, s := range specs {
+			if s.New == nil || s.New() == nil {
+				t.Errorf("%s: spec %q builds nil driver", a, s.Name)
+			}
+			if seen[s.Name] {
+				t.Errorf("%s: duplicate scheduler name %q", a, s.Name)
+			}
+			seen[s.Name] = true
+		}
+		if a.Title() == string(a) {
+			t.Errorf("%s: missing title", a)
+		}
+	}
+	if _, err := Ablation("nope").Schedulers(); err == nil {
+		t.Error("unknown ablation accepted")
+	}
+}
+
+func TestAblationEndToEnd(t *testing.T) {
+	specs, err := AblationQueueing.Schedulers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Shrinks:    []float64{1.0},
+		Sets:       2,
+		JobsPerSet: 150,
+		Seed:       5,
+		Schedulers: specs,
+	}
+	results, err := RunAll([]workload.Model{workload.KTH}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	tb := Comparison(AblationQueueing.Title(), results, cfg.Shrinks, names)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"EASY", "FCFS", "dynP/SJF-preferred"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("comparison missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestParseSpecEASY(t *testing.T) {
+	for _, name := range []string{"EASY", "EASY/SJF"} {
+		spec, err := ParseSpec(name)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", name, err)
+		}
+		if spec.Name != name {
+			t.Errorf("spec name %q, want %q", spec.Name, name)
+		}
+		if spec.New() == nil {
+			t.Errorf("%q: nil driver", name)
+		}
+	}
+	if _, err := ParseSpec("EASY/xx"); err == nil {
+		t.Error("EASY/xx accepted")
+	}
+}
+
+func TestComparisonSkipsMissingCells(t *testing.T) {
+	res, err := Run(Config{
+		Model:      workload.KTH,
+		Shrinks:    []float64{1.0},
+		Sets:       2,
+		JobsPerSet: 100,
+		Seed:       6,
+		Schedulers: []SchedulerSpec{StaticSpec(0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := Comparison("t", []*Result{res}, []float64{1.0}, []string{"FCFS", "missing"})
+	if tb.Len() > 1 { // only the separator row
+		t.Fatalf("rows with missing schedulers rendered: %d", tb.Len())
+	}
+}

@@ -1,0 +1,328 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dynp/internal/core"
+	"dynp/internal/policy"
+	"dynp/internal/rng"
+	"dynp/internal/stats"
+	"dynp/internal/table"
+	"dynp/internal/workload"
+)
+
+// Scheduler names as produced by the paper specs.
+const (
+	NameFCFS    = "FCFS"
+	NameSJF     = "SJF"
+	NameLJF     = "LJF"
+	NameAdv     = "dynP/advanced"
+	NameSJFPref = "dynP/SJF-preferred"
+)
+
+// Table1 renders the paper's Table 1, the decision analysis of the simple
+// decider.
+func Table1() *table.Table {
+	t := table.New("Table 1: detailed analysis of the simple decider",
+		"case", "combinations", "simple decider", "correct decision", "wrong")
+	for _, row := range core.Table1() {
+		correct := row.Correct.String()
+		if row.CorrectIsOld {
+			correct = "old policy"
+		} else if row.OldSpecific && row.Correct == row.Old {
+			correct = fmt.Sprintf("old policy (= %s)", row.Old)
+		}
+		wrong := ""
+		if row.Wrong {
+			wrong = "X"
+		}
+		t.AddRow(row.Case, row.Combination, row.Simple.String(), correct, wrong)
+	}
+	return t
+}
+
+// Table2 renders the paper's Table 2: the basic properties of one
+// generated job set per trace, next to the published trace targets.
+func Table2(models []workload.Model, jobs int, seed uint64) (*table.Table, error) {
+	t := table.New("Table 2: basic properties of the generated job sets (paper targets in parentheses)",
+		"trace", "jobs", "width min/avg/max (avg target)", "est. run time min/avg/max [s] (avg target)",
+		"act. run time min/avg/max [s] (avg target)", "overest. (target)", "interarrival min/avg/max [s] (avg target)")
+	for _, m := range models {
+		set, err := m.Generate(jobs, rng.New(seed).Derive(0x7ab1e2))
+		if err != nil {
+			return nil, err
+		}
+		c := workload.Characterize(set)
+		t.AddRow(
+			m.Name,
+			fmt.Sprintf("%d", c.Jobs),
+			fmt.Sprintf("%.0f/%.2f/%.0f (%.2f)", c.Width.Min, c.Width.Mean, c.Width.Max, m.WidthAvg),
+			fmt.Sprintf("%.0f/%.0f/%.0f (%.0f)", c.Est.Min, c.Est.Mean, c.Est.Max, m.EstAvg),
+			fmt.Sprintf("%.0f/%.0f/%.0f (%.0f)", c.Act.Min, c.Act.Mean, c.Act.Max, m.ActAvg),
+			fmt.Sprintf("%.3f (%.3f)", c.Overest, m.Overest),
+			fmt.Sprintf("%.0f/%.0f/%.0f (%.0f)", c.IAT.Min, c.IAT.Mean, c.IAT.Max, m.IATAvg),
+		)
+	}
+	return t, nil
+}
+
+// Table4 renders the paper's Table 4: SLDwA and utilization of the three
+// basic policies per trace and shrinking factor.
+func Table4(results []*Result, shrinks []float64) *table.Table {
+	t := table.New("Table 4: SLDwA and utilization of the basic policies",
+		"trace", "shrink", "SLDwA FCFS", "SLDwA SJF", "SLDwA LJF",
+		"util% FCFS", "util% SJF", "util% LJF")
+	for _, r := range results {
+		for _, f := range shrinks {
+			fc, sj, lj := r.Cell(f, NameFCFS), r.Cell(f, NameSJF), r.Cell(f, NameLJF)
+			if fc == nil || sj == nil || lj == nil {
+				continue
+			}
+			t.AddRowf(r.Model.Name, fmt.Sprintf("%.1f", f),
+				fc.SLDwA, sj.SLDwA, lj.SLDwA,
+				100*fc.Util, 100*sj.Util, 100*lj.Util)
+		}
+		t.AddSeparator()
+	}
+	return t
+}
+
+// Table5Row is one row of the paper's Table 5 in numeric form, also the
+// input to Table 3.
+type Table5Row struct {
+	Trace  string
+	Shrink float64
+
+	SLDwASJF, SLDwAAdv, SLDwAPref float64
+	RelAdv, RelPref               float64 // relative SLDwA improvement over SJF, %
+	UtilSJF, UtilAdv, UtilPref    float64 // percent
+	DiffAdv, DiffPref             float64 // utilization difference to SJF, percentage points
+}
+
+// Table5Rows extracts the Table 5 numbers from sweep results. Positive
+// relative slowdown differences are improvements over SJF (the paper's
+// sign convention); utilization differences are percentage points.
+func Table5Rows(results []*Result, shrinks []float64) []Table5Row {
+	var rows []Table5Row
+	for _, r := range results {
+		for _, f := range shrinks {
+			sj, ad, pr := r.Cell(f, NameSJF), r.Cell(f, NameAdv), r.Cell(f, NameSJFPref)
+			if sj == nil || ad == nil || pr == nil {
+				continue
+			}
+			row := Table5Row{
+				Trace: r.Model.Name, Shrink: f,
+				SLDwASJF: sj.SLDwA, SLDwAAdv: ad.SLDwA, SLDwAPref: pr.SLDwA,
+				UtilSJF: 100 * sj.Util, UtilAdv: 100 * ad.Util, UtilPref: 100 * pr.Util,
+			}
+			if sj.SLDwA != 0 {
+				row.RelAdv = 100 * (sj.SLDwA - ad.SLDwA) / sj.SLDwA
+				row.RelPref = 100 * (sj.SLDwA - pr.SLDwA) / sj.SLDwA
+			}
+			row.DiffAdv = row.UtilAdv - row.UtilSJF
+			row.DiffPref = row.UtilPref - row.UtilSJF
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// Table5 renders the paper's Table 5: detailed dynP numbers with
+// differences to SJF.
+func Table5(results []*Result, shrinks []float64) *table.Table {
+	t := table.New("Table 5: self-tuning dynP vs SJF (positive SLDwA differences are good)",
+		"trace", "shrink", "SLDwA SJF", "SLDwA adv.", "SLDwA SJF-pref.",
+		"rel.diff adv. %", "rel.diff pref. %",
+		"util% SJF", "util% adv.", "util% SJF-pref.",
+		"diff adv. pp", "diff pref. pp")
+	last := ""
+	for _, row := range Table5Rows(results, shrinks) {
+		if last != "" && row.Trace != last {
+			t.AddSeparator()
+		}
+		last = row.Trace
+		t.AddRowf(row.Trace, fmt.Sprintf("%.1f", row.Shrink),
+			row.SLDwASJF, row.SLDwAAdv, row.SLDwAPref,
+			row.RelAdv, row.RelPref,
+			row.UtilSJF, row.UtilAdv, row.UtilPref,
+			row.DiffAdv, row.DiffPref)
+	}
+	return t
+}
+
+// Table3Row is one row of the paper's condensed Table 3.
+type Table3Row struct {
+	Trace                   string
+	RelAdvAvg, RelPrefAvg   float64 // mean relative SLDwA difference, %
+	DiffAdvAvg, DiffPrefAvg float64 // mean utilization difference, pp
+}
+
+// Table3Rows condenses Table 5 into per-trace averages over all shrinking
+// factors, the paper's Table 3.
+func Table3Rows(results []*Result, shrinks []float64) []Table3Row {
+	byTrace := map[string]*Table3Row{}
+	counts := map[string]int{}
+	var order []string
+	for _, row := range Table5Rows(results, shrinks) {
+		tr, ok := byTrace[row.Trace]
+		if !ok {
+			tr = &Table3Row{Trace: row.Trace}
+			byTrace[row.Trace] = tr
+			order = append(order, row.Trace)
+		}
+		tr.RelAdvAvg += row.RelAdv
+		tr.RelPrefAvg += row.RelPref
+		tr.DiffAdvAvg += row.DiffAdv
+		tr.DiffPrefAvg += row.DiffPref
+		counts[row.Trace]++
+	}
+	out := make([]Table3Row, 0, len(order))
+	for _, name := range order {
+		tr := byTrace[name]
+		n := float64(counts[name])
+		tr.RelAdvAvg /= n
+		tr.RelPrefAvg /= n
+		tr.DiffAdvAvg /= n
+		tr.DiffPrefAvg /= n
+		out = append(out, *tr)
+	}
+	return out
+}
+
+// Table3 renders the paper's Table 3.
+func Table3(results []*Result, shrinks []float64) *table.Table {
+	t := table.New("Table 3: average differences to SJF over all shrinking factors",
+		"trace", "SLDwA rel.diff adv. %", "SLDwA rel.diff SJF-pref. %",
+		"util diff adv. pp", "util diff SJF-pref. pp")
+	for _, row := range Table3Rows(results, shrinks) {
+		t.AddRowf(row.Trace, row.RelAdvAvg, row.RelPrefAvg, row.DiffAdvAvg, row.DiffPrefAvg)
+	}
+	return t
+}
+
+// Figure assembles one of the paper's figures as data series: Figures 1
+// and 2 plot the basic policies, Figures 3 and 4 the dynP deciders with
+// SJF as reference; odd figures plot SLDwA, even ones utilization.
+func Figure(results []*Result, number int, shrinks []float64) ([]*table.Figure, error) {
+	var schedulers []string
+	var useUtil bool
+	switch number {
+	case 1:
+		schedulers = []string{NameFCFS, NameSJF, NameLJF}
+	case 2:
+		schedulers, useUtil = []string{NameFCFS, NameSJF, NameLJF}, true
+	case 3:
+		schedulers = []string{NameSJF, NameAdv, NameSJFPref}
+	case 4:
+		schedulers, useUtil = []string{NameSJF, NameAdv, NameSJFPref}, true
+	default:
+		return nil, fmt.Errorf("experiment: the paper has figures 1-4, not %d", number)
+	}
+	metric, ylabel := "SLDwA", "slowdown weighted by area"
+	if useUtil {
+		metric, ylabel = "utilization", "utilization [%]"
+	}
+	var figs []*table.Figure
+	for _, r := range results {
+		fig := &table.Figure{
+			Title:  fmt.Sprintf("Figure %d (%s): %s", number, r.Model.Name, metric),
+			XLabel: "shrinking factor",
+			YLabel: ylabel,
+		}
+		for _, sched := range schedulers {
+			s := table.Series{Name: sched}
+			for _, f := range shrinks {
+				c := r.Cell(f, sched)
+				if c == nil {
+					continue
+				}
+				y := c.SLDwA
+				if useUtil {
+					y = 100 * c.Util
+				}
+				s.X = append(s.X, f)
+				s.Y = append(s.Y, y)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// PolicyShares renders, for one dynP scheduler, the share of simulated
+// time each candidate policy was active per trace and shrinking factor,
+// plus the mean number of policy switches — the behavioural view behind
+// the paper's performance numbers.
+func PolicyShares(results []*Result, shrinks []float64, scheduler string) *table.Table {
+	t := table.New(
+		fmt.Sprintf("Policy usage of %s (share of simulated time, mean switches per run)", scheduler),
+		"trace", "shrink", "FCFS %", "SJF %", "LJF %", "switches")
+	for _, r := range results {
+		for _, f := range shrinks {
+			c := r.Cell(f, scheduler)
+			if c == nil {
+				continue
+			}
+			t.AddRowf(r.Model.Name, fmt.Sprintf("%.1f", f),
+				100*c.PolicyShare[policy.FCFS],
+				100*c.PolicyShare[policy.SJF],
+				100*c.PolicyShare[policy.LJF],
+				c.Switches)
+		}
+		t.AddSeparator()
+	}
+	return t
+}
+
+// Detail renders the per-set dispersion behind the headline numbers: for
+// every (trace, shrink, scheduler) cell the drop-min/max mean next to the
+// raw min, max and sample standard deviation over the job sets — the
+// noise the paper's aggregation rule exists to control.
+func Detail(results []*Result, shrinks []float64) *table.Table {
+	t := table.New("Per-set dispersion (SLDwA: aggregated / min / max / stddev over job sets)",
+		"trace", "shrink", "scheduler", "SLDwA", "min", "max", "stddev", "util%", "util stddev pp")
+	for _, r := range results {
+		for _, f := range shrinks {
+			for i := range r.Cells {
+				c := &r.Cells[i]
+				if c.Shrink != f {
+					continue
+				}
+				s := stats.Summarize(c.SLDwAPerSet)
+				u := stats.Summarize(c.UtilPerSet)
+				t.AddRowf(r.Model.Name, fmt.Sprintf("%.1f", f), c.Scheduler,
+					c.SLDwA, s.Min, s.Max, s.StdDev, 100*c.Util, 100*u.StdDev)
+			}
+		}
+		t.AddSeparator()
+	}
+	return t
+}
+
+// Summary condenses a full sweep into per-scheduler means over every
+// trace and shrink, used by the quickstart example and smoke tooling.
+func Summary(results []*Result) *table.Table {
+	t := table.New("Sweep summary (means over traces and shrinking factors)",
+		"scheduler", "mean SLDwA", "mean util%", "mean switches")
+	agg := map[string]*[3][]float64{}
+	var order []string
+	for _, r := range results {
+		for _, c := range r.Cells {
+			a, ok := agg[c.Scheduler]
+			if !ok {
+				a = &[3][]float64{}
+				agg[c.Scheduler] = a
+				order = append(order, c.Scheduler)
+			}
+			a[0] = append(a[0], c.SLDwA)
+			a[1] = append(a[1], 100*c.Util)
+			a[2] = append(a[2], c.Switches)
+		}
+	}
+	for _, name := range order {
+		a := agg[name]
+		t.AddRowf(name, stats.Mean(a[0]), stats.Mean(a[1]), stats.Mean(a[2]))
+	}
+	return t
+}

@@ -1,0 +1,227 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dynp/internal/workload"
+)
+
+func sweep(t *testing.T) []*Result {
+	t.Helper()
+	cfg := Config{
+		Shrinks:    []float64{1.0, 0.8},
+		Sets:       3,
+		JobsPerSet: 250,
+		Seed:       2,
+		Schedulers: PaperSchedulers(),
+	}
+	results, err := RunAll([]workload.Model{workload.KTH, workload.SDSC}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestTable1Rendering(t *testing.T) {
+	tb := Table1()
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"6b", "8c", "10c", "old policy", "FCFS = SJF = LJF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+	// Exactly four wrong decisions are marked.
+	if got := strings.Count(out, "X"); got != 4 {
+		t.Errorf("Table 1 marks %d wrong cases, want 4", got)
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	tb, err := Table2(workload.Models(), 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, trace := range []string{"CTC", "KTH", "LANL", "SDSC"} {
+		if !strings.Contains(out, trace) {
+			t.Errorf("Table 2 missing trace %s", trace)
+		}
+	}
+}
+
+func TestTable4Rendering(t *testing.T) {
+	results := sweep(t)
+	tb := Table4(results, []float64{1.0, 0.8})
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "KTH") || !strings.Contains(out, "SDSC") {
+		t.Fatalf("Table 4 missing traces:\n%s", out)
+	}
+	if !strings.Contains(out, "1.0") || !strings.Contains(out, "0.8") {
+		t.Fatalf("Table 4 missing shrinks:\n%s", out)
+	}
+}
+
+func TestTable5RowsArithmetic(t *testing.T) {
+	results := sweep(t)
+	rows := Table5Rows(results, []float64{1.0, 0.8})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		wantRelAdv := 100 * (r.SLDwASJF - r.SLDwAAdv) / r.SLDwASJF
+		if math.Abs(r.RelAdv-wantRelAdv) > 1e-9 {
+			t.Errorf("%s/%.1f: RelAdv = %v, want %v", r.Trace, r.Shrink, r.RelAdv, wantRelAdv)
+		}
+		if math.Abs(r.DiffPref-(r.UtilPref-r.UtilSJF)) > 1e-9 {
+			t.Errorf("%s/%.1f: DiffPref inconsistent", r.Trace, r.Shrink)
+		}
+	}
+}
+
+func TestTable3RowsAreAverages(t *testing.T) {
+	results := sweep(t)
+	shrinks := []float64{1.0, 0.8}
+	rows5 := Table5Rows(results, shrinks)
+	rows3 := Table3Rows(results, shrinks)
+	if len(rows3) != 2 {
+		t.Fatalf("table 3 rows = %d, want 2", len(rows3))
+	}
+	for _, r3 := range rows3 {
+		var sum float64
+		var n int
+		for _, r5 := range rows5 {
+			if r5.Trace == r3.Trace {
+				sum += r5.RelPref
+				n++
+			}
+		}
+		if math.Abs(r3.RelPrefAvg-sum/float64(n)) > 1e-9 {
+			t.Errorf("%s: RelPrefAvg = %v, want %v", r3.Trace, r3.RelPrefAvg, sum/float64(n))
+		}
+	}
+}
+
+func TestTable5AndTable3Render(t *testing.T) {
+	results := sweep(t)
+	shrinks := []float64{1.0, 0.8}
+	var b strings.Builder
+	if err := Table5(results, shrinks).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table3(results, shrinks).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "SJF-pref") {
+		t.Fatalf("missing SJF-pref columns:\n%s", out)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	results := sweep(t)
+	shrinks := []float64{1.0, 0.8}
+	for n := 1; n <= 4; n++ {
+		figs, err := Figure(results, n, shrinks)
+		if err != nil {
+			t.Fatalf("figure %d: %v", n, err)
+		}
+		if len(figs) != len(results) {
+			t.Fatalf("figure %d: %d sub-figures", n, len(figs))
+		}
+		for _, f := range figs {
+			if len(f.Series) != 3 {
+				t.Fatalf("figure %d: %d series", n, len(f.Series))
+			}
+			for _, s := range f.Series {
+				if len(s.X) != len(shrinks) {
+					t.Fatalf("figure %d series %s: %d points", n, s.Name, len(s.X))
+				}
+			}
+		}
+	}
+	if _, err := Figure(results, 5, shrinks); err == nil {
+		t.Fatal("figure 5 accepted")
+	}
+}
+
+func TestFigureMetricSelection(t *testing.T) {
+	results := sweep(t)
+	shrinks := []float64{1.0, 0.8}
+	f1, _ := Figure(results, 1, shrinks)
+	f2, _ := Figure(results, 2, shrinks)
+	// Figure 2 plots percentages (0..100); figure 1 slowdowns (>= 1,
+	// typically far below 100 on this small sweep).
+	if f2[0].Series[0].Y[0] <= f1[0].Series[0].Y[0] {
+		t.Fatalf("figure 2 should plot utilization percentages, got %v vs %v",
+			f2[0].Series[0].Y[0], f1[0].Series[0].Y[0])
+	}
+}
+
+func TestPolicyShares(t *testing.T) {
+	results := sweep(t)
+	tb := PolicyShares(results, []float64{1.0, 0.8}, NameSJFPref)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "SJF-preferred") || !strings.Contains(out, "switches") {
+		t.Fatalf("policy shares table incomplete:\n%s", out)
+	}
+	// Sanity: the SJF-preferred decider must spend the majority of time
+	// in SJF on every cell of this sweep.
+	for _, r := range results {
+		for _, f := range []float64{1.0, 0.8} {
+			c := r.Cell(f, NameSJFPref)
+			if c.PolicyShare[2] > 0.5 { // policy.LJF
+				t.Fatalf("%s/%.1f: LJF share %v above 50%% under SJF-preferred",
+					r.Model.Name, f, c.PolicyShare[2])
+			}
+		}
+	}
+}
+
+func TestDetail(t *testing.T) {
+	results := sweep(t)
+	tb := Detail(results, []float64{1.0, 0.8})
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "stddev") || !strings.Contains(out, "dynP/advanced") {
+		t.Fatalf("detail table incomplete:\n%s", out)
+	}
+	// 2 traces x 2 shrinks x 5 schedulers data rows (+2 separators).
+	if tb.Len() != 2*2*5+2 {
+		t.Fatalf("detail rows = %d", tb.Len())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	results := sweep(t)
+	tb := Summary(results)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FCFS", "SJF", "LJF", "dynP/advanced", "dynP/SJF-preferred"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("summary missing %s", want)
+		}
+	}
+}

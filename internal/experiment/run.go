@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dynp/internal/job"
+	"dynp/internal/metrics"
+	"dynp/internal/policy"
+	"dynp/internal/sim"
+	"dynp/internal/stats"
+	"dynp/internal/workload"
+)
+
+// Config describes one trace's sweep: which workload model, how many job
+// sets of which size, which shrinking factors and schedulers.
+type Config struct {
+	Model      workload.Model
+	Shrinks    []float64
+	Sets       int    // independent job sets (paper: 10)
+	JobsPerSet int    // jobs per set (paper: 10,000)
+	Seed       uint64 // base seed; job set k is a pure function of (model, seed, k)
+	Schedulers []SchedulerSpec
+	Workers    int                   // worker pool size; 0 = GOMAXPROCS
+	Progress   func(done, total int) // optional progress callback
+}
+
+// Cell is the aggregated outcome of one (shrink, scheduler) combination:
+// the drop-min/max mean over the job sets, plus the raw per-set values.
+type Cell struct {
+	Shrink    float64
+	Scheduler string
+
+	SLDwA float64 // paper aggregation over sets
+	Util  float64 // utilization in [0,1], paper aggregation over sets
+
+	SLDwAPerSet []float64
+	UtilPerSet  []float64
+
+	// Self-tuning statistics, averaged over sets (zero for static
+	// schedulers): policy switches and the share of simulated time each
+	// policy was active.
+	Switches    float64
+	PolicyShare map[policy.Policy]float64
+}
+
+// Result is the full sweep outcome for one trace.
+type Result struct {
+	Model workload.Model
+	Cells []Cell // shrink-major, scheduler-minor, in Config order
+}
+
+// Cell returns the cell for the given shrink and scheduler name, or nil.
+func (r *Result) Cell(shrink float64, scheduler string) *Cell {
+	for i := range r.Cells {
+		if r.Cells[i].Shrink == shrink && r.Cells[i].Scheduler == scheduler {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Run executes the sweep. Independent simulations are distributed over a
+// worker pool; results are deterministic regardless of worker count.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Sets < 1 || cfg.JobsPerSet < 1 {
+		return nil, fmt.Errorf("experiment: need at least one set and one job, got %d/%d",
+			cfg.Sets, cfg.JobsPerSet)
+	}
+	if len(cfg.Shrinks) == 0 || len(cfg.Schedulers) == 0 {
+		return nil, fmt.Errorf("experiment: empty shrink or scheduler list")
+	}
+	sets, err := cfg.Model.GenerateSets(cfg.Sets, cfg.JobsPerSet, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	type task struct {
+		shrinkIdx, schedIdx, setIdx int
+	}
+	type outcome struct {
+		sldwa, util float64
+		switches    float64
+		policyShare map[policy.Policy]float64
+	}
+
+	var tasks []task
+	for si := range cfg.Shrinks {
+		for di := range cfg.Schedulers {
+			for k := range sets {
+				tasks = append(tasks, task{si, di, k})
+			}
+		}
+	}
+	outcomes := make([]outcome, len(tasks))
+
+	// Pre-shrink each set once per factor (shared, read-only).
+	shrunk := make([][]*job.Set, len(cfg.Shrinks))
+	for si, f := range cfg.Shrinks {
+		shrunk[si] = make([]*job.Set, len(sets))
+		for k, s := range sets {
+			shrunk[si][k] = s.Shrink(f)
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	var (
+		next    atomic.Int64
+		done    atomic.Int64
+		wg      sync.WaitGroup
+		failMu  sync.Mutex
+		failure error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				tk := tasks[i]
+				driver := cfg.Schedulers[tk.schedIdx].New()
+				res, err := sim.Run(shrunk[tk.shrinkIdx][tk.setIdx], driver)
+				if err != nil {
+					failMu.Lock()
+					if failure == nil {
+						failure = fmt.Errorf("experiment: %s shrink %.2f set %d: %w",
+							cfg.Schedulers[tk.schedIdx].Name, cfg.Shrinks[tk.shrinkIdx], tk.setIdx, err)
+					}
+					failMu.Unlock()
+					return
+				}
+				o := outcome{
+					sldwa:       metrics.SLDwA(res),
+					util:        metrics.Utilization(res),
+					policyShare: make(map[policy.Policy]float64),
+				}
+				var span int64
+				for _, d := range res.PolicyTime {
+					span += d
+				}
+				if span > 0 {
+					for p, d := range res.PolicyTime {
+						o.policyShare[p] = float64(d) / float64(span)
+					}
+				}
+				if d, ok := driver.(*sim.DynP); ok {
+					o.switches = float64(d.Stats().Switches)
+				}
+				outcomes[i] = o
+				if cfg.Progress != nil {
+					cfg.Progress(int(done.Add(1)), len(tasks))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failure != nil {
+		return nil, failure
+	}
+
+	result := &Result{Model: cfg.Model}
+	ti := 0
+	for _, f := range cfg.Shrinks {
+		for di := range cfg.Schedulers {
+			cell := Cell{
+				Shrink:      f,
+				Scheduler:   cfg.Schedulers[di].Name,
+				PolicyShare: make(map[policy.Policy]float64),
+			}
+			var switches float64
+			for range sets {
+				o := outcomes[ti]
+				cell.SLDwAPerSet = append(cell.SLDwAPerSet, o.sldwa)
+				cell.UtilPerSet = append(cell.UtilPerSet, o.util)
+				switches += o.switches
+				for p, s := range o.policyShare {
+					cell.PolicyShare[p] += s
+				}
+				ti++
+			}
+			n := float64(len(sets))
+			cell.SLDwA = stats.DropMinMaxMean(cell.SLDwAPerSet)
+			cell.Util = stats.DropMinMaxMean(cell.UtilPerSet)
+			cell.Switches = switches / n
+			for p := range cell.PolicyShare {
+				cell.PolicyShare[p] /= n
+			}
+			result.Cells = append(result.Cells, cell)
+		}
+	}
+	return result, nil
+}
+
+// RunAll sweeps several traces with a shared configuration.
+func RunAll(models []workload.Model, cfg Config) ([]*Result, error) {
+	out := make([]*Result, 0, len(models))
+	for _, m := range models {
+		c := cfg
+		c.Model = m
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

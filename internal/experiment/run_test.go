@@ -1,0 +1,194 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"dynp/internal/core"
+	"dynp/internal/policy"
+	"dynp/internal/workload"
+)
+
+// smallConfig is a fast sweep used throughout the tests.
+func smallConfig() Config {
+	return Config{
+		Model:      workload.KTH,
+		Shrinks:    []float64{1.0, 0.8},
+		Sets:       4,
+		JobsPerSet: 300,
+		Seed:       1,
+		Schedulers: PaperSchedulers(),
+	}
+}
+
+func TestRunProducesAllCells(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(PaperSchedulers()); len(res.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), want)
+	}
+	for _, c := range res.Cells {
+		if len(c.SLDwAPerSet) != 4 || len(c.UtilPerSet) != 4 {
+			t.Fatalf("cell %s/%.1f missing per-set values", c.Scheduler, c.Shrink)
+		}
+		if c.SLDwA < 1 {
+			t.Fatalf("cell %s/%.1f SLDwA %v < 1", c.Scheduler, c.Shrink, c.SLDwA)
+		}
+		if c.Util <= 0 || c.Util > 1 {
+			t.Fatalf("cell %s/%.1f util %v out of (0,1]", c.Scheduler, c.Shrink, c.Util)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = 1
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cells {
+		if a.Cells[i].SLDwA != b.Cells[i].SLDwA || a.Cells[i].Util != b.Cells[i].Util {
+			t.Fatalf("cell %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	bads := []func(*Config){
+		func(c *Config) { c.Sets = 0 },
+		func(c *Config) { c.JobsPerSet = 0 },
+		func(c *Config) { c.Shrinks = nil },
+		func(c *Config) { c.Schedulers = nil },
+	}
+	for i, mutate := range bads {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestCellLookup(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := res.Cell(1.0, NameSJF); c == nil || c.Scheduler != NameSJF {
+		t.Fatal("Cell lookup failed")
+	}
+	if c := res.Cell(0.5, NameSJF); c != nil {
+		t.Fatal("Cell returned a non-existent shrink")
+	}
+}
+
+func TestHigherLoadRaisesSLDwA(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []string{NameFCFS, NameSJF, NameLJF} {
+		light := res.Cell(1.0, sched)
+		heavy := res.Cell(0.8, sched)
+		if heavy.SLDwA < light.SLDwA {
+			t.Errorf("%s: SLDwA fell from %.2f to %.2f under higher load",
+				sched, light.SLDwA, heavy.SLDwA)
+		}
+		if heavy.Util < light.Util {
+			t.Errorf("%s: utilization fell from %.3f to %.3f under higher load",
+				sched, light.Util, heavy.Util)
+		}
+	}
+}
+
+func TestDynPTracksPolicyShares(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cell(0.8, NameAdv)
+	var total float64
+	for _, s := range c.PolicyShare {
+		total += s
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("policy shares sum to %v", total)
+	}
+	if c.Switches <= 0 {
+		t.Fatal("dynP reported no policy switches on a mixed workload")
+	}
+	// Static schedulers report no switches and a single policy.
+	s := res.Cell(0.8, NameSJF)
+	if s.Switches != 0 {
+		t.Fatal("static scheduler reported switches")
+	}
+	if math.Abs(s.PolicyShare[policy.SJF]-1) > 1e-9 {
+		t.Fatalf("static SJF share = %v", s.PolicyShare[policy.SJF])
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Sets, cfg.JobsPerSet = 2, 100
+	var calls int
+	cfg.Progress = func(done, total int) {
+		calls++
+		if done < 1 || done > total {
+			t.Errorf("progress %d/%d out of range", done, total)
+		}
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress never called")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Sets, cfg.JobsPerSet = 2, 100
+	cfg.Shrinks = []float64{1.0}
+	results, err := RunAll([]workload.Model{workload.KTH, workload.SDSC}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Model.Name != "KTH" || results[1].Model.Name != "SDSC" {
+		t.Fatalf("RunAll results wrong: %d", len(results))
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	good := []string{"FCFS", "SJF", "LJF", "dynP/simple", "dynP/advanced", "dynP/SJF-preferred"}
+	for _, name := range good {
+		spec, err := ParseSpec(name)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", name, err)
+			continue
+		}
+		if spec.New() == nil {
+			t.Errorf("ParseSpec(%q): nil driver", name)
+		}
+	}
+	for _, bad := range []string{"", "bogus", "dynP/", "dynP/xx"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSpecsProduceFreshDrivers(t *testing.T) {
+	spec := DynPSpec(core.Advanced{})
+	a, b := spec.New(), spec.New()
+	if a == b {
+		t.Fatal("DynPSpec reuses driver instances")
+	}
+}

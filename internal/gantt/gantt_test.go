@@ -1,0 +1,154 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"dynp/internal/job"
+	"dynp/internal/metrics"
+	"dynp/internal/policy"
+	"dynp/internal/rng"
+	"dynp/internal/sim"
+)
+
+func result(t *testing.T) *sim.Result {
+	t.Helper()
+	r := rng.New(4)
+	set := &job.Set{Name: "g", Machine: 8}
+	var clock int64
+	for i := 0; i < 60; i++ {
+		clock += int64(r.Intn(40))
+		est := int64(1 + r.Intn(120))
+		set.Jobs = append(set.Jobs, &job.Job{
+			ID: job.ID(i + 1), Submit: clock,
+			Width: 1 + r.Intn(8), Estimate: est, Runtime: 1 + r.Int63n(est),
+		})
+	}
+	res, err := sim.Run(set, &sim.Static{Policy: policy.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFromResultCoversAllJobs(t *testing.T) {
+	res := result(t)
+	c, err := FromResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]int{}
+	for _, b := range c.Boxes {
+		seen[b.JobID] += b.ProcHi - b.ProcLo + 1
+	}
+	for _, r := range res.Records {
+		if seen[int64(r.Job.ID)] != r.Job.Width {
+			t.Fatalf("job %d drawn with %d processors, want %d",
+				r.Job.ID, seen[int64(r.Job.ID)], r.Job.Width)
+		}
+	}
+}
+
+func TestChartUtilizationMatchesMetrics(t *testing.T) {
+	res := result(t)
+	c, err := FromResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chart spans [First, Makespan] like the metric; areas must
+	// agree exactly, so the ratio does too.
+	want := metrics.Utilization(res)
+	if got := c.Utilization(); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("chart utilization %v, metrics %v", got, want)
+	}
+}
+
+func TestBoxesNeverOverlap(t *testing.T) {
+	res := result(t)
+	c, err := FromResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per processor, the time intervals must be disjoint.
+	type iv struct{ s, e int64 }
+	perProc := map[int][]iv{}
+	for _, b := range c.Boxes {
+		for p := b.ProcLo; p <= b.ProcHi; p++ {
+			perProc[p] = append(perProc[p], iv{b.Start, b.End})
+		}
+	}
+	for p, ivs := range perProc {
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				if ivs[i].s < ivs[j].e && ivs[j].s < ivs[i].e {
+					t.Fatalf("processor %d double-booked: %v and %v", p, ivs[i], ivs[j])
+				}
+			}
+		}
+	}
+}
+
+func TestASCIIRender(t *testing.T) {
+	res := result(t)
+	c, err := FromResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.ASCII(&b, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "p0") || !strings.Contains(out, "p7") {
+		t.Fatalf("missing processor rows:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 9 { // header + 8 rows
+		t.Fatalf("expected 9 lines, got %d", lines)
+	}
+}
+
+func TestASCIIErrors(t *testing.T) {
+	c := &Chart{Machine: 4, Start: 10, End: 10}
+	var b strings.Builder
+	if err := c.ASCII(&b, 60); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c2 := &Chart{Machine: 4, Start: 0, End: 10}
+	if err := c2.ASCII(&b, 5); err == nil {
+		t.Error("tiny width accepted")
+	}
+}
+
+func TestSVGRender(t *testing.T) {
+	res := result(t)
+	c, err := FromResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.SVG(&b, 800, 400); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "<rect", "hsl("} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<title>") != len(c.Boxes) {
+		t.Fatalf("expected one tooltip per box")
+	}
+}
+
+func TestContiguousRuns(t *testing.T) {
+	got := contiguousRuns([]int{0, 1, 2, 5, 7, 8})
+	want := [][2]int{{0, 2}, {5, 5}, {7, 8}}
+	if len(got) != len(want) {
+		t.Fatalf("runs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("runs = %v, want %v", got, want)
+		}
+	}
+}

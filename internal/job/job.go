@@ -1,0 +1,147 @@
+// Package job defines the job model shared by the workload generators, the
+// planning scheduler and the discrete event simulator.
+//
+// A job is described the way the paper (Section 4.2) defines it: by its
+// submission time, the number of requested resources (its width) and the
+// estimated run time (its length). The actual run time is carried along for
+// the simulation. All times and durations are integer seconds, matching the
+// resolution of the Parallel Workloads Archive traces.
+package job
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ID identifies a job within one job set. IDs are assigned in submission
+// order starting at 1, so they double as a first-come tie-breaker.
+type ID int64
+
+// Job is a rigid parallel batch job.
+//
+// Invariants (checked by Validate):
+//
+//	Submit   >= 0
+//	Width    >= 1
+//	Estimate >= 1
+//	1 <= Runtime <= Estimate
+//
+// Runtime <= Estimate reflects planning-based RMS semantics: a job is killed
+// when its estimate expires, so the simulator never observes a longer run.
+type Job struct {
+	ID       ID
+	Submit   int64 // submission time, seconds from job set start
+	Width    int   // requested processors
+	Estimate int64 // estimated (requested) run time, seconds
+	Runtime  int64 // actual run time, seconds
+}
+
+// Area is the actual resource consumption of the job in processor-seconds
+// (run time x width). It is the weight used by the SLDwA metric.
+func (j *Job) Area() int64 { return j.Runtime * int64(j.Width) }
+
+// EstimatedArea is the planned resource consumption in processor-seconds
+// (estimate x width), the weight visible to the planner before the job ran.
+func (j *Job) EstimatedArea() int64 { return j.Estimate * int64(j.Width) }
+
+// EstimatedEnd returns the latest possible completion time if the job
+// started at the given time.
+func (j *Job) EstimatedEnd(start int64) int64 { return start + j.Estimate }
+
+// String implements fmt.Stringer for debugging output.
+func (j *Job) String() string {
+	return fmt.Sprintf("job %d (submit %d, width %d, est %d, run %d)",
+		j.ID, j.Submit, j.Width, j.Estimate, j.Runtime)
+}
+
+// Validation errors returned by Validate.
+var (
+	ErrNegativeSubmit  = errors.New("job: negative submission time")
+	ErrNonPositiveSize = errors.New("job: width must be >= 1")
+	ErrTooWide         = errors.New("job: width exceeds machine size")
+	ErrBadEstimate     = errors.New("job: estimate must be >= 1")
+	ErrBadRuntime      = errors.New("job: runtime must satisfy 1 <= runtime <= estimate")
+)
+
+// Validate checks the job invariants against a machine with the given
+// number of processors. A maxWidth of 0 skips the machine size check.
+func (j *Job) Validate(maxWidth int) error {
+	switch {
+	case j.Submit < 0:
+		return fmt.Errorf("%w: %s", ErrNegativeSubmit, j)
+	case j.Width < 1:
+		return fmt.Errorf("%w: %s", ErrNonPositiveSize, j)
+	case maxWidth > 0 && j.Width > maxWidth:
+		return fmt.Errorf("%w (machine %d): %s", ErrTooWide, maxWidth, j)
+	case j.Estimate < 1:
+		return fmt.Errorf("%w: %s", ErrBadEstimate, j)
+	case j.Runtime < 1 || j.Runtime > j.Estimate:
+		return fmt.Errorf("%w: %s", ErrBadRuntime, j)
+	}
+	return nil
+}
+
+// Set is an ordered collection of jobs forming one simulation input.
+type Set struct {
+	Name    string
+	Machine int // available processors on the modelled machine
+	Jobs    []*Job
+}
+
+// Validate checks every job in the set and that jobs are sorted by
+// submission time (ties broken by ID), which the simulator relies on.
+func (s *Set) Validate() error {
+	if s.Machine < 1 {
+		return fmt.Errorf("job: set %q: machine size %d < 1", s.Name, s.Machine)
+	}
+	for i, j := range s.Jobs {
+		if err := j.Validate(s.Machine); err != nil {
+			return fmt.Errorf("job: set %q, index %d: %w", s.Name, i, err)
+		}
+		if i > 0 {
+			prev := s.Jobs[i-1]
+			if j.Submit < prev.Submit || (j.Submit == prev.Submit && j.ID <= prev.ID) {
+				return fmt.Errorf("job: set %q not sorted at index %d: %s after %s",
+					s.Name, i, j, prev)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalArea returns the summed actual area of all jobs in processor-seconds.
+func (s *Set) TotalArea() int64 {
+	var a int64
+	for _, j := range s.Jobs {
+		a += j.Area()
+	}
+	return a
+}
+
+// Span returns the interval [first submit, last submit] covered by the set.
+// A nil or empty set spans [0, 0].
+func (s *Set) Span() (first, last int64) {
+	if s == nil || len(s.Jobs) == 0 {
+		return 0, 0
+	}
+	return s.Jobs[0].Submit, s.Jobs[len(s.Jobs)-1].Submit
+}
+
+// Shrink returns a copy of the set with every submission time multiplied by
+// factor and rounded to the nearest second. Factors below one compress the
+// arrival process and thereby increase the offered load without changing the
+// outlook (area) of the jobs — the workload scaling used by the paper.
+// The jobs themselves are copied, so the receiver is never aliased.
+func (s *Set) Shrink(factor float64) *Set {
+	out := &Set{
+		Name:    fmt.Sprintf("%s/shrink=%.2f", s.Name, factor),
+		Machine: s.Machine,
+		Jobs:    make([]*Job, len(s.Jobs)),
+	}
+	for i, j := range s.Jobs {
+		c := *j
+		c.Submit = int64(float64(j.Submit)*factor + 0.5)
+		out.Jobs[i] = &c
+	}
+	return out
+}

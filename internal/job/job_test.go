@@ -1,0 +1,170 @@
+package job
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func valid() *Job {
+	return &Job{ID: 1, Submit: 10, Width: 4, Estimate: 100, Runtime: 60}
+}
+
+func TestAreas(t *testing.T) {
+	j := valid()
+	if got := j.Area(); got != 240 {
+		t.Errorf("Area = %d, want 240", got)
+	}
+	if got := j.EstimatedArea(); got != 400 {
+		t.Errorf("EstimatedArea = %d, want 400", got)
+	}
+	if got := j.EstimatedEnd(50); got != 150 {
+		t.Errorf("EstimatedEnd(50) = %d, want 150", got)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := valid().Validate(8); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	if err := valid().Validate(0); err != nil {
+		t.Fatalf("maxWidth 0 must skip machine check: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		mutate func(*Job)
+		want   error
+	}{
+		{func(j *Job) { j.Submit = -1 }, ErrNegativeSubmit},
+		{func(j *Job) { j.Width = 0 }, ErrNonPositiveSize},
+		{func(j *Job) { j.Width = 9 }, ErrTooWide},
+		{func(j *Job) { j.Estimate = 0 }, ErrBadEstimate},
+		{func(j *Job) { j.Runtime = 0 }, ErrBadRuntime},
+		{func(j *Job) { j.Runtime = j.Estimate + 1 }, ErrBadRuntime},
+	}
+	for _, c := range cases {
+		j := valid()
+		c.mutate(j)
+		if err := j.Validate(8); !errors.Is(err, c.want) {
+			t.Errorf("Validate(%+v) = %v, want %v", j, err, c.want)
+		}
+	}
+}
+
+func set() *Set {
+	return &Set{
+		Name:    "t",
+		Machine: 8,
+		Jobs: []*Job{
+			{ID: 1, Submit: 0, Width: 2, Estimate: 10, Runtime: 5},
+			{ID: 2, Submit: 0, Width: 2, Estimate: 10, Runtime: 10},
+			{ID: 3, Submit: 7, Width: 8, Estimate: 20, Runtime: 20},
+		},
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	if err := set().Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	s := set()
+	s.Jobs[2].Submit = -5
+	if err := s.Validate(); err == nil {
+		t.Error("invalid job accepted")
+	}
+	s = set()
+	s.Jobs[0], s.Jobs[2] = s.Jobs[2], s.Jobs[0]
+	if err := s.Validate(); err == nil {
+		t.Error("unsorted set accepted")
+	}
+	s = set()
+	s.Machine = 0
+	if err := s.Validate(); err == nil {
+		t.Error("machine size 0 accepted")
+	}
+}
+
+func TestSetValidateEqualSubmitNeedsIncreasingID(t *testing.T) {
+	s := &Set{Name: "t", Machine: 8, Jobs: []*Job{
+		{ID: 2, Submit: 0, Width: 1, Estimate: 1, Runtime: 1},
+		{ID: 1, Submit: 0, Width: 1, Estimate: 1, Runtime: 1},
+	}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("equal submit with decreasing ID accepted")
+	}
+}
+
+func TestTotalAreaAndSpan(t *testing.T) {
+	s := set()
+	if got := s.TotalArea(); got != 5*2+10*2+20*8 {
+		t.Fatalf("TotalArea = %d", got)
+	}
+	first, last := s.Span()
+	if first != 0 || last != 7 {
+		t.Fatalf("Span = (%d,%d)", first, last)
+	}
+	var empty *Set
+	if f, l := empty.Span(); f != 0 || l != 0 {
+		t.Fatal("nil set span not zero")
+	}
+}
+
+func TestShrinkScalesSubmits(t *testing.T) {
+	s := set()
+	half := s.Shrink(0.5)
+	if half.Jobs[2].Submit != 4 { // round(7*0.5 + 0.5) = 4
+		t.Fatalf("shrunk submit = %d, want 4", half.Jobs[2].Submit)
+	}
+	// Widths, estimates and runtimes (the job "outlook") are unchanged.
+	for i := range s.Jobs {
+		o, c := s.Jobs[i], half.Jobs[i]
+		if o.Width != c.Width || o.Estimate != c.Estimate || o.Runtime != c.Runtime {
+			t.Fatalf("Shrink changed job outlook at %d", i)
+		}
+	}
+	// Deep copy: mutating the copy must not touch the original.
+	half.Jobs[0].Width = 99
+	if s.Jobs[0].Width == 99 {
+		t.Fatal("Shrink aliases jobs")
+	}
+}
+
+func TestShrinkIdentity(t *testing.T) {
+	s := set()
+	same := s.Shrink(1.0)
+	for i := range s.Jobs {
+		if same.Jobs[i].Submit != s.Jobs[i].Submit {
+			t.Fatalf("Shrink(1.0) changed submit at %d", i)
+		}
+	}
+}
+
+func TestShrinkPropertyMonotone(t *testing.T) {
+	// Shrinking preserves submission order and total area.
+	if err := quick.Check(func(seeds []uint16, factor uint8) bool {
+		f := 0.5 + float64(factor%50)/100 // 0.5 .. 0.99
+		s := &Set{Name: "p", Machine: 1 << 20}
+		var clock int64
+		for i, v := range seeds {
+			clock += int64(v)
+			s.Jobs = append(s.Jobs, &Job{
+				ID: ID(i + 1), Submit: clock, Width: 1,
+				Estimate: int64(v) + 1, Runtime: int64(v)/2 + 1,
+			})
+		}
+		sh := s.Shrink(f)
+		if sh.TotalArea() != s.TotalArea() {
+			return false
+		}
+		for i := 1; i < len(sh.Jobs); i++ {
+			if sh.Jobs[i].Submit < sh.Jobs[i-1].Submit {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package metrics computes the performance measures the paper evaluates on
+// completed simulation runs: the slowdown weighted by job area (SLDwA),
+// bounded slowdown, response-time averages and machine utilization.
+package metrics
+
+import (
+	"math"
+
+	"dynp/internal/sim"
+)
+
+// Slowdown returns the job slowdown s = response/runtime = 1 + wait/runtime
+// (paper, Section 4.1). Run times are at least one second by the job
+// invariants, so no clamping is needed.
+func Slowdown(r sim.Record) float64 {
+	return float64(r.Response()) / float64(r.Job.Runtime)
+}
+
+// BoundedSlowdown returns the bounded slowdown s^tau = max(response /
+// max(runtime, tau), 1) of [2], which mutes the impact of very short jobs.
+// The paper cites tau = 60 seconds.
+func BoundedSlowdown(r sim.Record, tau int64) float64 {
+	den := r.Job.Runtime
+	if den < tau {
+		den = tau
+	}
+	return math.Max(float64(r.Response())/float64(den), 1)
+}
+
+// DefaultTau is the bounded-slowdown threshold used in the paper (60 s).
+const DefaultTau = 60
+
+// SLDwA returns the average slowdown weighted by job area:
+// sum(a_i*s_i)/sum(a_i) with a_i = runtime_i * width_i. Jobs with equal run
+// times but different widths thereby impact the result proportionally to
+// the resources they actually consumed.
+func SLDwA(res *sim.Result) float64 {
+	var num, den float64
+	for _, r := range res.Records {
+		a := float64(r.Job.Area())
+		num += a * Slowdown(r)
+		den += a
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// BoundedSLDwA is SLDwA computed over bounded slowdowns with threshold tau.
+func BoundedSLDwA(res *sim.Result, tau int64) float64 {
+	var num, den float64
+	for _, r := range res.Records {
+		a := float64(r.Job.Area())
+		num += a * BoundedSlowdown(r, tau)
+		den += a
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// ART returns the average response time in seconds.
+func ART(res *sim.Result) float64 {
+	if len(res.Records) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range res.Records {
+		sum += float64(r.Response())
+	}
+	return sum / float64(len(res.Records))
+}
+
+// ARTwW returns the average response time weighted by job width. The paper
+// notes SLDwA equals ARTwW up to a job-set-dependent constant.
+func ARTwW(res *sim.Result) float64 {
+	var num, den float64
+	for _, r := range res.Records {
+		w := float64(r.Job.Width)
+		num += w * float64(r.Response())
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// AWT returns the average waiting time in seconds.
+func AWT(res *sim.Result) float64 {
+	if len(res.Records) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range res.Records {
+		sum += float64(r.Wait())
+	}
+	return sum / float64(len(res.Records))
+}
+
+// Utilization returns the fraction of processor-seconds used between the
+// first submission and the last completion: sum(area) / (capacity *
+// (makespan - first submit)). The result is in [0, 1].
+func Utilization(res *sim.Result) float64 {
+	span := res.Makespan - res.First
+	if span <= 0 {
+		return 0
+	}
+	var area float64
+	for _, r := range res.Records {
+		area += float64(r.Job.Area())
+	}
+	return area / (float64(res.Set.Machine) * float64(span))
+}
+
+// MaxWait returns the longest waiting time observed, a fairness indicator
+// used by the extension experiments.
+func MaxWait(res *sim.Result) int64 {
+	var max int64
+	for _, r := range res.Records {
+		if w := r.Wait(); w > max {
+			max = w
+		}
+	}
+	return max
+}

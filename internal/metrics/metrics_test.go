@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"dynp/internal/job"
+	"dynp/internal/sim"
+)
+
+func mkResult() *sim.Result {
+	// Machine of 4 processors. Two jobs:
+	//   a: width 1, runtime 10, submitted 0, started 0, finished 10.
+	//   b: width 2, runtime 20, submitted 0, started 10, finished 30.
+	a := &job.Job{ID: 1, Submit: 0, Width: 1, Estimate: 10, Runtime: 10}
+	b := &job.Job{ID: 2, Submit: 0, Width: 2, Estimate: 20, Runtime: 20}
+	return &sim.Result{
+		Set:      &job.Set{Name: "m", Machine: 4, Jobs: []*job.Job{a, b}},
+		Records:  []sim.Record{{Job: a, Start: 0, Finish: 10}, {Job: b, Start: 10, Finish: 30}},
+		Makespan: 30,
+		First:    0,
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	res := mkResult()
+	if got := Slowdown(res.Records[0]); got != 1 {
+		t.Errorf("slowdown a = %v, want 1", got)
+	}
+	if got := Slowdown(res.Records[1]); got != 1.5 {
+		t.Errorf("slowdown b = %v, want 1.5 (wait 10, run 20)", got)
+	}
+}
+
+func TestSlowdownPaperExample(t *testing.T) {
+	// Paper, Section 4.1: a 0.5 s job waiting 10 minutes suffers
+	// slowdown 1201; a 20 s job with the same wait suffers 31. With
+	// integer seconds the first job becomes 1 s: slowdown 601.
+	short := sim.Record{
+		Job:   &job.Job{ID: 1, Submit: 0, Width: 1, Estimate: 1, Runtime: 1},
+		Start: 600, Finish: 601,
+	}
+	if got := Slowdown(short); got != 601 {
+		t.Errorf("short job slowdown = %v, want 601", got)
+	}
+	twenty := sim.Record{
+		Job:   &job.Job{ID: 2, Submit: 0, Width: 1, Estimate: 20, Runtime: 20},
+		Start: 600, Finish: 620,
+	}
+	if got := Slowdown(twenty); got != 31 {
+		t.Errorf("20 s job slowdown = %v, want 31", got)
+	}
+}
+
+func TestBoundedSlowdown(t *testing.T) {
+	// 1 s job waiting 600 s: raw slowdown 601, bounded (tau=60) is
+	// 601/60.
+	r := sim.Record{
+		Job:   &job.Job{ID: 1, Submit: 0, Width: 1, Estimate: 1, Runtime: 1},
+		Start: 600, Finish: 601,
+	}
+	want := 601.0 / 60
+	if got := BoundedSlowdown(r, DefaultTau); math.Abs(got-want) > 1e-12 {
+		t.Errorf("bounded slowdown = %v, want %v", got, want)
+	}
+	// Bounded slowdown is never below 1.
+	quick := sim.Record{
+		Job:   &job.Job{ID: 2, Submit: 0, Width: 1, Estimate: 5, Runtime: 5},
+		Start: 0, Finish: 5,
+	}
+	if got := BoundedSlowdown(quick, DefaultTau); got != 1 {
+		t.Errorf("bounded slowdown of immediate short job = %v, want 1", got)
+	}
+	// For runtimes above tau it matches the raw slowdown.
+	long := sim.Record{
+		Job:   &job.Job{ID: 3, Submit: 0, Width: 1, Estimate: 100, Runtime: 100},
+		Start: 50, Finish: 150,
+	}
+	if got, raw := BoundedSlowdown(long, DefaultTau), Slowdown(long); got != raw {
+		t.Errorf("bounded %v != raw %v for long job", got, raw)
+	}
+}
+
+func TestSLDwAWeighting(t *testing.T) {
+	res := mkResult()
+	// Areas: a = 10, b = 40. Slowdowns: 1, 1.5.
+	want := (10*1.0 + 40*1.5) / 50
+	if got := SLDwA(res); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SLDwA = %v, want %v", got, want)
+	}
+}
+
+func TestSLDwAPaperWeightExample(t *testing.T) {
+	// The paper's motivation: with area weighting the 1 s single-CPU
+	// job contributes slowdown*area = 601, the 20 s job 620 — the
+	// longer job dominates despite the smaller raw slowdown.
+	short := &job.Job{ID: 1, Submit: 0, Width: 1, Estimate: 1, Runtime: 1}
+	twenty := &job.Job{ID: 2, Submit: 0, Width: 1, Estimate: 20, Runtime: 20}
+	res := &sim.Result{
+		Set: &job.Set{Name: "p", Machine: 2, Jobs: []*job.Job{short, twenty}},
+		Records: []sim.Record{
+			{Job: short, Start: 600, Finish: 601},
+			{Job: twenty, Start: 600, Finish: 620},
+		},
+		Makespan: 620,
+	}
+	want := (601.0*1 + 31.0*20) / 21
+	if got := SLDwA(res); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SLDwA = %v, want %v", got, want)
+	}
+}
+
+func TestART_AWT_ARTwW(t *testing.T) {
+	res := mkResult()
+	if got := ART(res); math.Abs(got-20) > 1e-12 { // (10+30)/2
+		t.Errorf("ART = %v, want 20", got)
+	}
+	if got := AWT(res); math.Abs(got-5) > 1e-12 { // (0+10)/2
+		t.Errorf("AWT = %v, want 5", got)
+	}
+	want := (1*10.0 + 2*30.0) / 3
+	if got := ARTwW(res); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ARTwW = %v, want %v", got, want)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	res := mkResult()
+	// Area 10 + 40 = 50 over 4 procs * 30 s = 120.
+	want := 50.0 / 120
+	if got := Utilization(res); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Utilization = %v, want %v", got, want)
+	}
+}
+
+func TestUtilizationDegenerate(t *testing.T) {
+	res := &sim.Result{Set: &job.Set{Machine: 4}, Makespan: 0, First: 0}
+	if got := Utilization(res); got != 0 {
+		t.Errorf("degenerate utilization = %v", got)
+	}
+}
+
+func TestEmptyResultMetrics(t *testing.T) {
+	res := &sim.Result{Set: &job.Set{Machine: 4}}
+	for name, got := range map[string]float64{
+		"SLDwA": SLDwA(res), "ART": ART(res), "AWT": AWT(res),
+		"ARTwW": ARTwW(res), "BoundedSLDwA": BoundedSLDwA(res, DefaultTau),
+	} {
+		if got != 0 {
+			t.Errorf("%s of empty result = %v", name, got)
+		}
+	}
+	if MaxWait(res) != 0 {
+		t.Error("MaxWait of empty result != 0")
+	}
+}
+
+func TestMaxWait(t *testing.T) {
+	if got := MaxWait(mkResult()); got != 10 {
+		t.Errorf("MaxWait = %d, want 10", got)
+	}
+}
+
+func TestSLDwAEqualsARTwWRelation(t *testing.T) {
+	// For jobs of width 1 and slowdown computed over actual runtimes,
+	// SLDwA = sum(run*sld)/sum(run) = sum(response)/sum(run); for unit
+	// widths ARTwW = mean(response). Cross-check the two on a common
+	// example: SLDwA * mean(run) == ARTwW when all runtimes are equal.
+	a := &job.Job{ID: 1, Submit: 0, Width: 1, Estimate: 10, Runtime: 10}
+	b := &job.Job{ID: 2, Submit: 0, Width: 1, Estimate: 10, Runtime: 10}
+	res := &sim.Result{
+		Set: &job.Set{Name: "r", Machine: 1, Jobs: []*job.Job{a, b}},
+		Records: []sim.Record{
+			{Job: a, Start: 0, Finish: 10},
+			{Job: b, Start: 10, Finish: 20},
+		},
+		Makespan: 20,
+	}
+	if got, want := SLDwA(res)*10, ARTwW(res); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SLDwA*run = %v, ARTwW = %v", got, want)
+	}
+}

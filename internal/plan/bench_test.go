@@ -1,0 +1,53 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+
+	"dynp/internal/job"
+	"dynp/internal/policy"
+	"dynp/internal/rng"
+)
+
+// BenchmarkBuild measures full-schedule construction at several queue
+// depths — the dominant cost of a self-tuning step (three builds per
+// scheduling event).
+func BenchmarkBuild(b *testing.B) {
+	for _, queued := range []int{16, 128, 1024} {
+		for _, p := range policy.Candidates {
+			b.Run(fmt.Sprintf("queue%d/%s", queued, p), func(b *testing.B) {
+				r := rng.New(7)
+				waiting := make([]*job.Job, queued)
+				for i := range waiting {
+					est := int64(1 + r.Intn(20000))
+					waiting[i] = &job.Job{
+						ID: job.ID(i + 1), Submit: int64(r.Intn(1000)),
+						Width: 1 + r.Intn(128), Estimate: est, Runtime: est,
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					Build(1000, 128, nil, waiting, p)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPlannedSLDwA measures schedule scoring.
+func BenchmarkPlannedSLDwA(b *testing.B) {
+	r := rng.New(8)
+	waiting := make([]*job.Job, 512)
+	for i := range waiting {
+		est := int64(1 + r.Intn(20000))
+		waiting[i] = &job.Job{
+			ID: job.ID(i + 1), Submit: int64(r.Intn(1000)),
+			Width: 1 + r.Intn(128), Estimate: est, Runtime: est,
+		}
+	}
+	s := Build(1000, 128, nil, waiting, policy.SJF)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.PlannedSLDwA()
+	}
+}

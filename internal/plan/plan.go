@@ -1,0 +1,182 @@
+// Package plan builds full schedules the way a planning-based resource
+// management system does: every waiting job receives a planned start time
+// at the earliest hole in the availability profile that fits its width for
+// its full estimated run time, visiting jobs in the active policy's order.
+// Backfilling is implicit — a short narrow job later in the order may slip
+// into a gap before a wide job earlier in the order, but never delays it,
+// because the wide job's reservation is already fixed.
+//
+// The same code path serves two purposes: the executing scheduler derives
+// actual start times from the plan, and the self-tuning dynP step builds
+// three hypothetical ("what-if") schedules, one per candidate policy, to
+// score them against each other.
+package plan
+
+import (
+	"fmt"
+
+	"dynp/internal/job"
+	"dynp/internal/policy"
+	"dynp/internal/profile"
+)
+
+// Running describes a job currently executing on the machine. Its
+// processors stay reserved until Start+Estimate — the planner must assume
+// the estimate is exhausted; an earlier actual completion simply triggers
+// the next replanning event.
+type Running struct {
+	Job   *job.Job
+	Start int64
+}
+
+// EstimatedEnd returns the planner-visible completion time.
+func (r Running) EstimatedEnd() int64 { return r.Job.EstimatedEnd(r.Start) }
+
+// Entry is one waiting job with its planned start time.
+type Entry struct {
+	Job   *job.Job
+	Start int64
+}
+
+// Schedule is a full plan: a start time for every waiting job, given the
+// machine state at time Now.
+type Schedule struct {
+	Now      int64
+	Capacity int
+	Policy   policy.Policy
+	Entries  []Entry // in placement (policy) order
+}
+
+// Build computes a full schedule for the waiting jobs under policy p.
+// Running jobs block their processors until their estimated end. The
+// waiting slice is not modified.
+func Build(now int64, capacity int, running []Running, waiting []*job.Job, p policy.Policy) *Schedule {
+	prof := profile.New(capacity, now)
+	for _, r := range running {
+		if rem := r.EstimatedEnd() - now; rem > 0 {
+			prof.Alloc(now, r.Job.Width, rem)
+		}
+	}
+	s := &Schedule{Now: now, Capacity: capacity, Policy: p,
+		Entries: make([]Entry, 0, len(waiting))}
+	for _, j := range p.Order(waiting) {
+		start := prof.Place(now, j.Width, j.Estimate)
+		s.Entries = append(s.Entries, Entry{Job: j, Start: start})
+	}
+	return s
+}
+
+// StartingNow returns the entries whose planned start time equals the
+// schedule's Now — the jobs the executing scheduler must launch
+// immediately.
+func (s *Schedule) StartingNow() []Entry {
+	var out []Entry
+	for _, e := range s.Entries {
+		if e.Start == s.Now {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PlannedSLDwA is the slowdown weighted by job area of the planned
+// schedule, using estimates as the run time (the only run time the planner
+// can see). It is the paper's headline decision metric: SLDwA =
+// sum(a_i*s_i)/sum(a_i) with a_i the estimated area and s_i =
+// (wait_i+estimate_i)/estimate_i. An empty plan scores 0.
+func (s *Schedule) PlannedSLDwA() float64 {
+	var num, den float64
+	for _, e := range s.Entries {
+		a := float64(e.Job.EstimatedArea())
+		sld := float64(e.Start-e.Job.Submit+e.Job.Estimate) / float64(e.Job.Estimate)
+		num += a * sld
+		den += a
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// PlannedART is the average planned response time (wait + estimate) of the
+// waiting jobs. An empty plan scores 0.
+func (s *Schedule) PlannedART() float64 {
+	if len(s.Entries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range s.Entries {
+		sum += float64(e.Start - e.Job.Submit + e.Job.Estimate)
+	}
+	return sum / float64(len(s.Entries))
+}
+
+// PlannedARTwW is the planned average response time weighted by job width,
+// which the paper notes is proportional to SLDwA for a fixed job set.
+// An empty plan scores 0.
+func (s *Schedule) PlannedARTwW() float64 {
+	var num, den float64
+	for _, e := range s.Entries {
+		w := float64(e.Job.Width)
+		num += w * float64(e.Start-e.Job.Submit+e.Job.Estimate)
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// PlannedAWT is the average planned waiting time. An empty plan scores 0.
+func (s *Schedule) PlannedAWT() float64 {
+	if len(s.Entries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range s.Entries {
+		sum += float64(e.Start - e.Job.Submit)
+	}
+	return sum / float64(len(s.Entries))
+}
+
+// PlannedMakespan is the latest estimated completion time over the waiting
+// entries, as an offset from Now (so schedules at different instants are
+// comparable). An empty plan scores 0.
+func (s *Schedule) PlannedMakespan() float64 {
+	var end int64
+	for _, e := range s.Entries {
+		if t := e.Job.EstimatedEnd(e.Start); t > end {
+			end = t
+		}
+	}
+	if end == 0 {
+		return 0
+	}
+	return float64(end - s.Now)
+}
+
+// Verify checks that the schedule is feasible: no entry starts before Now
+// or before its submission, and the profile including running jobs is never
+// over-subscribed. It is used by tests and by the simulator's paranoid
+// mode.
+func (s *Schedule) Verify(running []Running) error {
+	prof := profile.New(s.Capacity, s.Now)
+	for _, r := range running {
+		if rem := r.EstimatedEnd() - s.Now; rem > 0 {
+			prof.Alloc(s.Now, r.Job.Width, rem)
+		}
+	}
+	for _, e := range s.Entries {
+		if e.Start < s.Now {
+			return fmt.Errorf("plan: %s starts at %d before now %d", e.Job, e.Start, s.Now)
+		}
+		if e.Start < e.Job.Submit {
+			return fmt.Errorf("plan: %s starts at %d before its submission", e.Job, e.Start)
+		}
+		if got := prof.EarliestFit(e.Start, e.Job.Width, e.Job.Estimate); got != e.Start {
+			return fmt.Errorf("plan: %s does not fit at %d (earliest %d)", e.Job, e.Start, got)
+		}
+		prof.Alloc(e.Start, e.Job.Width, e.Job.Estimate)
+	}
+	return nil
+}

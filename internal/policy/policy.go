@@ -1,0 +1,98 @@
+// Package policy defines the scheduling policies the dynP scheduler can
+// switch between: the paper's three candidates FCFS, SJF and LJF, plus two
+// extension policies (shortest/largest estimated area) used by the ablation
+// experiments. A policy is an ordering of the waiting queue; the planning
+// scheduler places jobs at their earliest feasible start time in that order.
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"dynp/internal/job"
+)
+
+// Policy identifies a waiting-queue ordering.
+type Policy int
+
+// The policies. FCFS, SJF and LJF are the candidate set of the paper;
+// SAF and LAF (smallest/largest area first) are ablation extensions.
+const (
+	FCFS Policy = iota // first come, first serve
+	SJF                // shortest (estimated run time) job first
+	LJF                // longest (estimated run time) job first
+	SAF                // smallest estimated area first (extension)
+	LAF                // largest estimated area first (extension)
+	numPolicies
+)
+
+// Candidates is the policy set of the self-tuning dynP scheduler as used
+// throughout the paper.
+var Candidates = []Policy{FCFS, SJF, LJF}
+
+// All lists every implemented policy including the extensions.
+var All = []Policy{FCFS, SJF, LJF, SAF, LAF}
+
+var names = [numPolicies]string{"FCFS", "SJF", "LJF", "SAF", "LAF"}
+
+// String returns the conventional abbreviation of the policy.
+func (p Policy) String() string {
+	if p < 0 || p >= numPolicies {
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+	return names[p]
+}
+
+// Valid reports whether p is an implemented policy.
+func (p Policy) Valid() bool { return p >= 0 && p < numPolicies }
+
+// Parse converts an abbreviation such as "SJF" into a Policy.
+func Parse(s string) (Policy, error) {
+	for i, n := range names {
+		if n == s {
+			return Policy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown policy %q", s)
+}
+
+// Less reports whether job a precedes job b under policy p. Every policy
+// falls back to submission time and then job ID, so orderings are total
+// and deterministic.
+func (p Policy) Less(a, b *job.Job) bool {
+	switch p {
+	case SJF:
+		if a.Estimate != b.Estimate {
+			return a.Estimate < b.Estimate
+		}
+	case LJF:
+		if a.Estimate != b.Estimate {
+			return a.Estimate > b.Estimate
+		}
+	case SAF:
+		if aa, ba := a.EstimatedArea(), b.EstimatedArea(); aa != ba {
+			return aa < ba
+		}
+	case LAF:
+		if aa, ba := a.EstimatedArea(), b.EstimatedArea(); aa != ba {
+			return aa > ba
+		}
+	case FCFS:
+		// fall through to the common tie-break
+	default:
+		panic(fmt.Sprintf("policy: Less on invalid policy %d", int(p)))
+	}
+	if a.Submit != b.Submit {
+		return a.Submit < b.Submit
+	}
+	return a.ID < b.ID
+}
+
+// Order returns a new slice with the jobs sorted according to p. The input
+// slice is not modified; the planner orders a fresh copy of the waiting
+// queue for every what-if schedule of a self-tuning step.
+func (p Policy) Order(jobs []*job.Job) []*job.Job {
+	out := append([]*job.Job(nil), jobs...)
+	sort.SliceStable(out, func(i, j int) bool { return p.Less(out[i], out[j]) })
+	return out
+}

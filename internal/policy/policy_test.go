@@ -1,0 +1,166 @@
+package policy
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dynp/internal/job"
+	"dynp/internal/rng"
+)
+
+func jobs() []*job.Job {
+	return []*job.Job{
+		{ID: 1, Submit: 0, Width: 8, Estimate: 100, Runtime: 100},
+		{ID: 2, Submit: 5, Width: 1, Estimate: 500, Runtime: 400},
+		{ID: 3, Submit: 10, Width: 4, Estimate: 50, Runtime: 50},
+		{ID: 4, Submit: 15, Width: 2, Estimate: 100, Runtime: 90},
+	}
+}
+
+func ids(js []*job.Job) []job.ID {
+	out := make([]job.ID, len(js))
+	for i, j := range js {
+		out[i] = j.ID
+	}
+	return out
+}
+
+func equalIDs(a, b []job.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOrderings(t *testing.T) {
+	// Estimated areas: job 1 = 800, job 2 = 500, job 3 = 200, job 4 = 200.
+	cases := []struct {
+		p    Policy
+		want []job.ID
+	}{
+		{FCFS, []job.ID{1, 2, 3, 4}},
+		{SJF, []job.ID{3, 1, 4, 2}}, // estimates 50, 100 (submit 0), 100 (submit 15), 500
+		{LJF, []job.ID{2, 1, 4, 3}}, // estimates 500, 100, 100, 50
+		{SAF, []job.ID{3, 4, 2, 1}}, // area ties 200/200 broken by submit
+		{LAF, []job.ID{1, 2, 3, 4}},
+	}
+	for _, c := range cases {
+		got := ids(c.p.Order(jobs()))
+		if !equalIDs(got, c.want) {
+			t.Errorf("%v order = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestOrderDoesNotMutateInput(t *testing.T) {
+	in := jobs()
+	before := ids(in)
+	SJF.Order(in)
+	if !equalIDs(ids(in), before) {
+		t.Fatal("Order mutated its input slice")
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	for _, p := range All {
+		got, err := Parse(p.String())
+		if err != nil || got != p {
+			t.Errorf("Parse(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := Parse("nope"); err == nil {
+		t.Error("Parse accepted junk")
+	}
+	if Policy(99).String() == "" {
+		t.Error("out-of-range String empty")
+	}
+	if Policy(99).Valid() {
+		t.Error("Policy(99) reported valid")
+	}
+}
+
+func TestLessPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Less on invalid policy did not panic")
+		}
+	}()
+	js := jobs()
+	Policy(99).Less(js[0], js[1])
+}
+
+func TestCandidatesArePaperSet(t *testing.T) {
+	if len(Candidates) != 3 || Candidates[0] != FCFS || Candidates[1] != SJF || Candidates[2] != LJF {
+		t.Fatalf("Candidates = %v", Candidates)
+	}
+}
+
+func TestPropertyTotalOrder(t *testing.T) {
+	// For every policy, Less is a strict weak order: irreflexive,
+	// asymmetric, and total up to identical (Submit, ID) pairs.
+	r := rng.New(99)
+	for _, p := range All {
+		for trial := 0; trial < 50; trial++ {
+			a := &job.Job{ID: job.ID(r.Intn(10)), Submit: int64(r.Intn(10)),
+				Width: 1 + r.Intn(8), Estimate: int64(1 + r.Intn(100)), Runtime: 1}
+			b := &job.Job{ID: job.ID(r.Intn(10)), Submit: int64(r.Intn(10)),
+				Width: 1 + r.Intn(8), Estimate: int64(1 + r.Intn(100)), Runtime: 1}
+			if p.Less(a, a) {
+				t.Fatalf("%v: Less(a,a) true", p)
+			}
+			if p.Less(a, b) && p.Less(b, a) {
+				t.Fatalf("%v: Less not asymmetric for %v, %v", p, a, b)
+			}
+			if a.ID != b.ID && !p.Less(a, b) && !p.Less(b, a) {
+				// Totality: distinct IDs must order one way.
+				if a.Submit != b.Submit || a.ID != b.ID {
+					t.Fatalf("%v: neither %v < %v nor converse", p, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertySJFSortedByEstimate(t *testing.T) {
+	if err := quick.Check(func(ests []uint16) bool {
+		js := make([]*job.Job, len(ests))
+		for i, e := range ests {
+			js[i] = &job.Job{ID: job.ID(i + 1), Submit: int64(i),
+				Width: 1, Estimate: int64(e) + 1, Runtime: 1}
+		}
+		got := SJF.Order(js)
+		return sort.SliceIsSorted(got, func(i, j int) bool {
+			if got[i].Estimate != got[j].Estimate {
+				return got[i].Estimate < got[j].Estimate
+			}
+			return got[i].Submit <= got[j].Submit
+		})
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLJFIsReverseOfSJFByEstimate(t *testing.T) {
+	if err := quick.Check(func(ests []uint16) bool {
+		js := make([]*job.Job, len(ests))
+		for i, e := range ests {
+			js[i] = &job.Job{ID: job.ID(i + 1), Submit: 0,
+				Width: 1, Estimate: int64(e) + 1, Runtime: 1}
+		}
+		s, l := SJF.Order(js), LJF.Order(js)
+		for i := range s {
+			if s[i].Estimate != l[len(l)-1-i].Estimate {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package profile implements the resource availability profile of a
+// planning-based scheduler: a step function over time giving the number of
+// free processors. Placing every waiting job at the earliest interval that
+// can hold its width for its full estimated run time yields the implicit
+// backfilling the paper attributes to planning-based resource management
+// systems ([6] in the paper).
+package profile
+
+import "fmt"
+
+// step is one piece of the step function: free processors are available
+// from Time (inclusive) until the time of the next step (exclusive). The
+// last step extends to infinity.
+type step struct {
+	time int64
+	free int
+}
+
+// Profile is a free-processor timeline. Create one with New; the zero
+// value is not usable.
+type Profile struct {
+	capacity int
+	steps    []step
+}
+
+// New returns a profile for a machine with the given capacity where all
+// processors are free from time start onwards. It panics if capacity < 1.
+func New(capacity int, start int64) *Profile {
+	if capacity < 1 {
+		panic(fmt.Sprintf("profile: capacity %d < 1", capacity))
+	}
+	return &Profile{
+		capacity: capacity,
+		steps:    []step{{time: start, free: capacity}},
+	}
+}
+
+// Capacity returns the machine capacity the profile was built with.
+func (p *Profile) Capacity() int { return p.capacity }
+
+// Start returns the first instant covered by the profile.
+func (p *Profile) Start() int64 { return p.steps[0].time }
+
+// FreeAt returns the number of free processors at time t. Times before the
+// profile start report the free count of the first step.
+func (p *Profile) FreeAt(t int64) int {
+	i := p.find(t)
+	return p.steps[i].free
+}
+
+// find returns the index of the step covering time t (the last step whose
+// time is <= t), or 0 when t precedes the profile.
+func (p *Profile) find(t int64) int {
+	lo, hi := 0, len(p.steps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.steps[mid].time <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// EarliestFit returns the earliest time >= earliest at which width
+// processors are free for the whole interval [t, t+duration). It panics if
+// width exceeds the capacity or the arguments are non-positive.
+func (p *Profile) EarliestFit(earliest int64, width int, duration int64) int64 {
+	p.check(width, duration)
+	if earliest < p.steps[0].time {
+		earliest = p.steps[0].time
+	}
+	i := p.find(earliest)
+	for {
+		// Candidate start: beginning of step i, but not before earliest.
+		start := p.steps[i].time
+		if start < earliest {
+			start = earliest
+		}
+		if p.steps[i].free >= width {
+			end := start + duration
+			ok := true
+			for j := i + 1; j < len(p.steps) && p.steps[j].time < end; j++ {
+				if p.steps[j].free < width {
+					// Blocked: resume the search at the blocking step.
+					i = j
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return start
+			}
+		}
+		i++
+		if i >= len(p.steps) {
+			// The final step extends to infinity; it must fit there
+			// because free equals capacity eventually only if no job
+			// runs forever — the final step's free count is whatever
+			// remained, so guard against an impossible width.
+			panic(fmt.Sprintf("profile: no fit for width %d after final step (free %d)",
+				width, p.steps[len(p.steps)-1].free))
+		}
+	}
+}
+
+// Alloc reserves width processors over [start, start+duration). The caller
+// must have obtained start from EarliestFit (or otherwise guarantee the
+// interval fits); Alloc panics when the reservation would drive any step
+// negative, as that indicates a scheduler bug.
+func (p *Profile) Alloc(start int64, width int, duration int64) {
+	p.check(width, duration)
+	end := start + duration
+	p.splitAt(start)
+	p.splitAt(end)
+	for i := p.find(start); i < len(p.steps) && p.steps[i].time < end; i++ {
+		p.steps[i].free -= width
+		if p.steps[i].free < 0 {
+			panic(fmt.Sprintf("profile: over-allocation at t=%d: %d free after placing width %d",
+				p.steps[i].time, p.steps[i].free, width))
+		}
+	}
+}
+
+// Place combines EarliestFit and Alloc: it reserves width processors for
+// duration at the earliest feasible time >= earliest and returns the chosen
+// start time.
+func (p *Profile) Place(earliest int64, width int, duration int64) int64 {
+	start := p.EarliestFit(earliest, width, duration)
+	p.Alloc(start, width, duration)
+	return start
+}
+
+// splitAt ensures a step boundary exists exactly at time t, so that a
+// subsequent in-place modification of [start, end) only touches whole
+// steps. Times at or before the profile start are ignored.
+func (p *Profile) splitAt(t int64) {
+	if t <= p.steps[0].time {
+		return
+	}
+	i := p.find(t)
+	if p.steps[i].time == t {
+		return
+	}
+	p.steps = append(p.steps, step{})
+	copy(p.steps[i+2:], p.steps[i+1:])
+	p.steps[i+1] = step{time: t, free: p.steps[i].free}
+}
+
+func (p *Profile) check(width int, duration int64) {
+	if width < 1 || width > p.capacity {
+		panic(fmt.Sprintf("profile: width %d out of [1, %d]", width, p.capacity))
+	}
+	if duration < 1 {
+		panic(fmt.Sprintf("profile: duration %d < 1", duration))
+	}
+}
+
+// Steps returns a copy of the internal step function as parallel slices of
+// times and free counts, mainly for tests and debugging output.
+func (p *Profile) Steps() (times []int64, free []int) {
+	times = make([]int64, len(p.steps))
+	free = make([]int, len(p.steps))
+	for i, s := range p.steps {
+		times[i] = s.time
+		free[i] = s.free
+	}
+	return times, free
+}
+
+// Clone returns an independent deep copy of the profile.
+func (p *Profile) Clone() *Profile {
+	return &Profile{
+		capacity: p.capacity,
+		steps:    append([]step(nil), p.steps...),
+	}
+}
+
+// String renders the profile compactly for debugging.
+func (p *Profile) String() string {
+	s := fmt.Sprintf("profile(cap=%d", p.capacity)
+	for _, st := range p.steps {
+		s += fmt.Sprintf(" [%d:%d]", st.time, st.free)
+	}
+	return s + ")"
+}

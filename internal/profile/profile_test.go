@@ -1,0 +1,231 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynp/internal/rng"
+)
+
+func TestNewAllFree(t *testing.T) {
+	p := New(64, 100)
+	if p.Capacity() != 64 || p.Start() != 100 {
+		t.Fatalf("capacity/start wrong: %v", p)
+	}
+	if got := p.FreeAt(100); got != 64 {
+		t.Fatalf("FreeAt(start) = %d", got)
+	}
+	if got := p.FreeAt(1 << 40); got != 64 {
+		t.Fatalf("FreeAt(far future) = %d", got)
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 0) did not panic")
+		}
+	}()
+	New(0, 0)
+}
+
+func TestPlaceImmediate(t *testing.T) {
+	p := New(10, 0)
+	if start := p.Place(0, 4, 100); start != 0 {
+		t.Fatalf("first placement at %d, want 0", start)
+	}
+	if got := p.FreeAt(0); got != 6 {
+		t.Fatalf("free after placement = %d, want 6", got)
+	}
+	if got := p.FreeAt(100); got != 10 {
+		t.Fatalf("free after job end = %d, want 10", got)
+	}
+}
+
+func TestPlaceQueuesBehindFullMachine(t *testing.T) {
+	p := New(10, 0)
+	p.Place(0, 10, 50) // fills the machine until t=50
+	if start := p.Place(0, 1, 10); start != 50 {
+		t.Fatalf("second placement at %d, want 50", start)
+	}
+}
+
+func TestImplicitBackfill(t *testing.T) {
+	// Wide job reserves [10, 110); a narrow short job must slide into
+	// the hole [0, 10) without disturbing the reservation.
+	p := New(10, 0)
+	p.Alloc(0, 6, 10)       // running job until t=10
+	w := p.Place(0, 8, 100) // wide job cannot start before 10
+	if w != 10 {
+		t.Fatalf("wide job at %d, want 10", w)
+	}
+	n := p.Place(0, 4, 10) // narrow job backfills at 0
+	if n != 0 {
+		t.Fatalf("backfill start %d, want 0", n)
+	}
+	// A narrow job too long for the hole must go behind the wide job.
+	l := p.Place(0, 4, 11)
+	if l != 110 {
+		t.Fatalf("long narrow job at %d, want 110", l)
+	}
+}
+
+func TestEarliestFitRespectsEarliestBound(t *testing.T) {
+	p := New(10, 0)
+	if got := p.EarliestFit(42, 1, 10); got != 42 {
+		t.Fatalf("EarliestFit honoured hole before earliest: %d", got)
+	}
+}
+
+func TestEarliestFitSpansMultipleSteps(t *testing.T) {
+	p := New(10, 0)
+	p.Alloc(10, 4, 10) // free: [0,10):10, [10,20):6, [20,inf):10
+	// Width 6 for duration 15 starting at 0 would cross the 6-free
+	// window: 10-6=4 < 6? No: free in [10,20) is 6, 6 >= 6 fits.
+	if got := p.EarliestFit(0, 6, 15); got != 0 {
+		t.Fatalf("width 6 should fit at 0, got %d", got)
+	}
+	// Width 7 cannot cross [10,20).
+	if got := p.EarliestFit(0, 7, 15); got != 20 {
+		t.Fatalf("width 7 should wait for 20, got %d", got)
+	}
+	// Width 7 but short enough to finish by 10 fits at 0.
+	if got := p.EarliestFit(0, 7, 10); got != 0 {
+		t.Fatalf("width 7 duration 10 should fit at 0, got %d", got)
+	}
+}
+
+func TestAllocPanicsOnOverAllocation(t *testing.T) {
+	p := New(4, 0)
+	p.Alloc(0, 4, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-allocation did not panic")
+		}
+	}()
+	p.Alloc(5, 1, 2)
+}
+
+func TestCheckPanics(t *testing.T) {
+	p := New(4, 0)
+	for _, fn := range []func(){
+		func() { p.EarliestFit(0, 0, 10) },
+		func() { p.EarliestFit(0, 5, 10) },
+		func() { p.EarliestFit(0, 1, 0) },
+		func() { p.Alloc(0, -1, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := New(8, 0)
+	p.Alloc(0, 4, 10)
+	c := p.Clone()
+	c.Alloc(0, 4, 10)
+	if got := p.FreeAt(0); got != 4 {
+		t.Fatalf("clone mutation leaked into original: free %d", got)
+	}
+	if got := c.FreeAt(0); got != 0 {
+		t.Fatalf("clone free %d, want 0", got)
+	}
+}
+
+func TestStepsMergedView(t *testing.T) {
+	p := New(8, 0)
+	p.Alloc(5, 2, 10)
+	times, free := p.Steps()
+	if len(times) != len(free) {
+		t.Fatal("Steps slices differ in length")
+	}
+	// Expect boundaries at 0, 5 and 15.
+	want := map[int64]int{0: 8, 5: 6, 15: 8}
+	for i, tm := range times {
+		if w, ok := want[tm]; ok && free[i] != w {
+			t.Fatalf("free at %d = %d, want %d", tm, free[i], w)
+		}
+	}
+}
+
+// naive is a brute-force per-second free-capacity model used as the
+// oracle in the property test.
+type naive struct {
+	capacity int
+	used     map[int64]int
+}
+
+func (n *naive) alloc(start int64, width int, dur int64) {
+	for t := start; t < start+dur; t++ {
+		n.used[t] += width
+	}
+}
+
+func (n *naive) fits(start int64, width int, dur int64) bool {
+	for t := start; t < start+dur; t++ {
+		if n.used[t]+width > n.capacity {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *naive) earliest(earliest int64, width int, dur int64) int64 {
+	for t := earliest; ; t++ {
+		if n.fits(t, width, dur) {
+			return t
+		}
+	}
+}
+
+func TestPropertyMatchesNaiveOracle(t *testing.T) {
+	// Random placement sequences must produce identical start times in
+	// the step-function profile and a brute-force per-second model.
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		const capacity = 16
+		p := New(capacity, 0)
+		n := &naive{capacity: capacity, used: make(map[int64]int)}
+		for i := 0; i < 40; i++ {
+			width := 1 + r.Intn(capacity)
+			dur := int64(1 + r.Intn(30))
+			earliest := int64(r.Intn(50))
+			got := p.Place(earliest, width, dur)
+			want := n.earliest(earliest, width, dur)
+			if got != want {
+				t.Logf("seed %d step %d: profile %d, oracle %d (w=%d d=%d e=%d)",
+					seed, i, got, want, width, dur, earliest)
+				return false
+			}
+			n.alloc(want, width, dur)
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNeverNegative(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		p := New(8, 0)
+		for i := 0; i < 100; i++ {
+			p.Place(int64(r.Intn(100)), 1+r.Intn(8), int64(1+r.Intn(50)))
+		}
+		_, free := p.Steps()
+		for _, f := range free {
+			if f < 0 || f > 8 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package rms
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"dynp/internal/job"
+)
+
+// Client is a typed client for the Server protocol. It is not safe for
+// concurrent use; open one client per goroutine (the server side handles
+// any number of connections).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	enc  *json.Encoder
+}
+
+// Dial connects to a dynpd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rms: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("rms: send: %w", err)
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return Response{}, fmt.Errorf("rms: receive: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return Response{}, fmt.Errorf("rms: decode: %w", err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("rms: server: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Submit submits a job and returns its info (state, planned start).
+func (c *Client) Submit(width int, estimate int64) (JobInfo, error) {
+	resp, err := c.call(Request{Op: "submit", Width: width, Estimate: estimate})
+	if err != nil {
+		return JobInfo{}, err
+	}
+	if resp.Job == nil {
+		return JobInfo{}, fmt.Errorf("rms: submit: empty response")
+	}
+	return *resp.Job, nil
+}
+
+// Done reports a running job's completion.
+func (c *Client) Done(id job.ID) (JobInfo, error) {
+	resp, err := c.call(Request{Op: "done", ID: int64(id)})
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return *resp.Job, nil
+}
+
+// Cancel removes a waiting job.
+func (c *Client) Cancel(id job.ID) error {
+	_, err := c.call(Request{Op: "cancel", ID: int64(id)})
+	return err
+}
+
+// Job queries one job.
+func (c *Client) Job(id job.ID) (JobInfo, error) {
+	resp, err := c.call(Request{Op: "job", ID: int64(id)})
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return *resp.Job, nil
+}
+
+// Status queries the system snapshot.
+func (c *Client) Status() (Status, error) {
+	resp, err := c.call(Request{Op: "status"})
+	if err != nil {
+		return Status{}, err
+	}
+	if resp.Status == nil {
+		return Status{}, fmt.Errorf("rms: status: empty response")
+	}
+	return *resp.Status, nil
+}
+
+// Finished lists completed and killed jobs.
+func (c *Client) Finished() ([]JobInfo, error) {
+	resp, err := c.call(Request{Op: "finished"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Finished, nil
+}
+
+// Report fetches the server's metrics over finished jobs.
+func (c *Client) Report() (Report, error) {
+	resp, err := c.call(Request{Op: "report"})
+	if err != nil {
+		return Report{}, err
+	}
+	if resp.Report == nil {
+		return Report{}, fmt.Errorf("rms: report: empty response")
+	}
+	return *resp.Report, nil
+}
+
+// Tick advances the server's virtual clock (virtual mode only).
+func (c *Client) Tick(to int64) (int64, error) {
+	resp, err := c.call(Request{Op: "tick", To: to})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Now, nil
+}

@@ -1,0 +1,168 @@
+package rms
+
+import (
+	"testing"
+
+	"dynp/internal/policy"
+	"dynp/internal/sim"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s, err := New(8, &sim.Static{Policy: policy.FCFS}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := NewServer(s, true)
+	addr, err := sv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sv.Close() })
+	return sv, addr.String()
+}
+
+func TestClientFullLifecycle(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	a, err := c.Submit(8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.State != StateRunning {
+		t.Fatalf("a = %+v", a)
+	}
+	b, err := c.Submit(4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.State != StateWaiting || b.PlannedStart != 100 {
+		t.Fatalf("b = %+v", b)
+	}
+
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UsedProcs != 8 || len(st.Waiting) != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	if now, err := c.Tick(40); err != nil || now != 40 {
+		t.Fatalf("tick: %v %v", now, err)
+	}
+	if _, err := c.Done(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	bi, err := c.Job(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.State != StateRunning || bi.Started != 40 {
+		t.Fatalf("b after early completion = %+v", bi)
+	}
+
+	fin, err := c.Finished()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fin) != 1 || fin[0].ID != a.ID {
+		t.Fatalf("finished = %+v", fin)
+	}
+}
+
+func TestClientCancel(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Submit(8, 100)
+	b, _ := c.Submit(1, 10)
+	if err := c.Cancel(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Job(b.ID); err == nil {
+		t.Fatal("cancelled job still queryable")
+	}
+}
+
+func TestClientServerErrorsSurface(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Submit(99, 10); err == nil {
+		t.Error("oversized job accepted")
+	}
+	if _, err := c.Done(12345); err == nil {
+		t.Error("done on unknown job accepted")
+	}
+	// Errors must not desynchronise the stream.
+	if _, err := c.Status(); err != nil {
+		t.Fatalf("connection desynchronised: %v", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestTwoClientsShareOneMachine(t *testing.T) {
+	_, addr := startServer(t)
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	c1.Submit(6, 100)
+	info, err := c2.Submit(6, 100) // must queue behind client 1's job
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateWaiting {
+		t.Fatalf("second client's job = %+v", info)
+	}
+	st, err := c1.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UsedProcs != 6 || len(st.Waiting) != 1 {
+		t.Fatalf("shared status = %+v", st)
+	}
+}
+
+func TestClientReport(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a, _ := c.Submit(4, 100)
+	c.Tick(30)
+	c.Done(a.ID)
+	rep, err := c.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 1 || rep.Killed != 0 || rep.SLDwA != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

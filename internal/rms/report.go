@@ -1,0 +1,67 @@
+package rms
+
+// Report is the online scheduler's self-assessment over its finished
+// jobs — the same metrics the paper evaluates offline (Section 4.1),
+// computed from what the RMS observed.
+type Report struct {
+	Now        int64
+	Jobs       int     // finished jobs (completed + killed)
+	Killed     int     // jobs terminated at their estimate
+	SLDwA      float64 // slowdown weighted by actual area
+	ART        float64 // average response time, seconds
+	AWT        float64 // average waiting time, seconds
+	MaxWait    int64
+	Util       float64 // used area / (capacity x observed span)
+	FirstSub   int64
+	LastFinish int64
+}
+
+// Report computes the metrics over all finished jobs. With no finished
+// jobs, the zero Report (with the current time) is returned.
+func (s *Scheduler) Report() Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := Report{Now: s.now, Jobs: len(s.done)}
+	if len(s.done) == 0 {
+		return rep
+	}
+	first := s.done[0].Submitted
+	var last int64
+	var area, weighted float64
+	var waitSum, respSum float64
+	for _, j := range s.done {
+		if j.State == StateKilled {
+			rep.Killed++
+		}
+		if j.Submitted < first {
+			first = j.Submitted
+		}
+		if j.Finished > last {
+			last = j.Finished
+		}
+		run := j.Finished - j.Started
+		if run < 1 {
+			run = 1
+		}
+		wait := j.Started - j.Submitted
+		resp := j.Finished - j.Submitted
+		a := float64(run) * float64(j.Width)
+		area += a
+		weighted += a * float64(resp) / float64(run)
+		waitSum += float64(wait)
+		respSum += float64(resp)
+		if wait > rep.MaxWait {
+			rep.MaxWait = wait
+		}
+	}
+	n := float64(len(s.done))
+	rep.SLDwA = weighted / area
+	rep.ART = respSum / n
+	rep.AWT = waitSum / n
+	rep.FirstSub = first
+	rep.LastFinish = last
+	if span := last - first; span > 0 {
+		rep.Util = area / (float64(s.capacity) * float64(span))
+	}
+	return rep
+}

@@ -1,0 +1,434 @@
+// Package rms embeds the dynP scheduler in an *online* planning-based
+// resource management system — the role the CCS system plays for the
+// paper's clusters. Unlike the offline simulator (internal/sim), which
+// replays a job set whose actual run times are known in advance, the
+// online scheduler learns completions from the outside world: clients
+// submit jobs with estimates, report completions, and the RMS kills jobs
+// whose estimates expire (the guarantee that makes planning sound).
+//
+// Time is explicit: the caller drives the clock with Advance, which makes
+// the core fully deterministic and testable; a real-time front end (see
+// cmd/dynpd) simply calls Advance from a wall-clock ticker.
+package rms
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dynp/internal/job"
+	"dynp/internal/plan"
+	"dynp/internal/policy"
+	"dynp/internal/sim"
+)
+
+// JobState describes where a job currently is in its lifecycle.
+type JobState int
+
+// The job lifecycle states.
+const (
+	StateWaiting JobState = iota
+	StateRunning
+	StateCompleted
+	StateKilled // estimate expired; the RMS terminated the job
+)
+
+var stateNames = [...]string{"waiting", "running", "completed", "killed"}
+
+// String returns the lowercase state name.
+func (s JobState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// JobInfo is the externally visible status of one job.
+type JobInfo struct {
+	ID           job.ID
+	Width        int
+	Estimate     int64
+	Submitted    int64
+	State        JobState
+	PlannedStart int64 // meaningful while waiting
+	Started      int64 // meaningful once running
+	Finished     int64 // meaningful once completed/killed
+}
+
+// Scheduler is an online planning-based RMS core. Create with New; all
+// methods are safe for concurrent use.
+type Scheduler struct {
+	mu       sync.Mutex
+	capacity int
+	driver   sim.Driver
+	now      int64
+	nextID   job.ID
+
+	waiting []*job.Job
+	running []plan.Running
+	infos   map[job.ID]*JobInfo
+	plan    *plan.Schedule
+
+	done []JobInfo // completed and killed jobs, in finish order
+}
+
+// New returns an online scheduler for a machine with the given capacity,
+// using the given planning driver (a static policy, dynP, or EASY). The
+// clock starts at startTime.
+func New(capacity int, driver sim.Driver, startTime int64) (*Scheduler, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("rms: capacity %d < 1", capacity)
+	}
+	if driver == nil {
+		return nil, fmt.Errorf("rms: nil driver")
+	}
+	s := &Scheduler{
+		capacity: capacity,
+		driver:   driver,
+		now:      startTime,
+		infos:    make(map[job.ID]*JobInfo),
+	}
+	s.replan()
+	return s, nil
+}
+
+// Now returns the scheduler's current time.
+func (s *Scheduler) Now() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Submit enters a job (width processors for at most estimate seconds) at
+// the current time and returns its ID and planned start time.
+func (s *Scheduler) Submit(width int, estimate int64) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if width < 1 || width > s.capacity {
+		return JobInfo{}, fmt.Errorf("rms: width %d out of [1, %d]", width, s.capacity)
+	}
+	if estimate < 1 {
+		return JobInfo{}, fmt.Errorf("rms: estimate %d < 1", estimate)
+	}
+	s.nextID++
+	j := &job.Job{
+		ID: s.nextID, Submit: s.now, Width: width,
+		Estimate: estimate,
+		// The actual run time is unknown online; the planner never
+		// reads it, but the job model requires validity.
+		Runtime: estimate,
+	}
+	s.waiting = append(s.waiting, j)
+	s.infos[j.ID] = &JobInfo{
+		ID: j.ID, Width: width, Estimate: estimate,
+		Submitted: s.now, State: StateWaiting,
+	}
+	s.replan()
+	info := *s.infos[j.ID]
+	return info, nil
+}
+
+// Complete reports that a running job finished at the current time.
+func (s *Scheduler) Complete(id job.ID) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.infos[id]
+	if !ok {
+		return JobInfo{}, fmt.Errorf("rms: unknown job %d", id)
+	}
+	if info.State != StateRunning {
+		return JobInfo{}, fmt.Errorf("rms: job %d is %s, not running", id, info.State)
+	}
+	s.finish(id, StateCompleted)
+	s.replan()
+	return *info, nil
+}
+
+// Cancel removes a waiting job from the queue.
+func (s *Scheduler) Cancel(id job.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.infos[id]
+	if !ok {
+		return fmt.Errorf("rms: unknown job %d", id)
+	}
+	if info.State != StateWaiting {
+		return fmt.Errorf("rms: job %d is %s, not waiting", id, info.State)
+	}
+	for i, j := range s.waiting {
+		if j.ID == id {
+			s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
+			break
+		}
+	}
+	delete(s.infos, id)
+	s.replan()
+	return nil
+}
+
+// Advance moves the clock to the given time, starting jobs whose planned
+// start arrives and killing jobs whose estimates expire on the way. It is
+// an error to move the clock backwards.
+func (s *Scheduler) Advance(to int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if to < s.now {
+		return fmt.Errorf("rms: cannot advance from %d back to %d", s.now, to)
+	}
+	s.advanceLocked(to, false)
+	s.now = to
+	return nil
+}
+
+// advanceLocked processes automatic actions (kills, planned starts) up to
+// time `to` — strictly before it when exclusive is set. Callers hold the
+// lock and are responsible for setting s.now afterwards.
+func (s *Scheduler) advanceLocked(to int64, exclusive bool) {
+	for {
+		next, ok := s.nextActionTime()
+		if !ok || next > to || (exclusive && next == to) {
+			return
+		}
+		s.now = next
+		s.killExpired()
+		s.startDue()
+	}
+}
+
+// killExpired terminates running jobs whose estimates expired and replans
+// if any were found. Callers hold the lock.
+func (s *Scheduler) killExpired() {
+	killed := false
+	for _, r := range append([]plan.Running(nil), s.running...) {
+		if r.EstimatedEnd() <= s.now {
+			s.finish(r.Job.ID, StateKilled)
+			killed = true
+		}
+	}
+	if killed {
+		s.replan()
+	}
+}
+
+// Submission describes one job of a Deliver batch.
+type Submission struct {
+	Width    int
+	Estimate int64
+}
+
+// Deliver applies a batch of simultaneous external events atomically: the
+// clock moves to t (processing automatic actions strictly before t on the
+// way), then all completions, estimate expiries and submissions at t take
+// effect before a single replanning step. This mirrors how the offline
+// discrete event simulator treats same-instant events and is the right
+// entry point for bridges that replay simulated workloads; interactive
+// use (Submit/Complete) replans eagerly instead, which can order
+// same-instant events differently.
+//
+// The returned infos correspond to the submissions, in order.
+func (s *Scheduler) Deliver(t int64, completions []job.ID, subs []Submission) ([]JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < s.now {
+		return nil, fmt.Errorf("rms: cannot deliver at %d before current time %d", t, s.now)
+	}
+	s.advanceLocked(t, true)
+	s.now = t
+
+	// Validate the whole batch before mutating anything, so a bad entry
+	// cannot leave the batch half-applied.
+	for _, id := range completions {
+		info, ok := s.infos[id]
+		if !ok {
+			return nil, fmt.Errorf("rms: unknown job %d", id)
+		}
+		if info.State != StateRunning {
+			return nil, fmt.Errorf("rms: job %d is %s, not running", id, info.State)
+		}
+	}
+	for _, sub := range subs {
+		if sub.Width < 1 || sub.Width > s.capacity {
+			return nil, fmt.Errorf("rms: width %d out of [1, %d]", sub.Width, s.capacity)
+		}
+		if sub.Estimate < 1 {
+			return nil, fmt.Errorf("rms: estimate %d < 1", sub.Estimate)
+		}
+	}
+
+	// Client completions first (a job completing exactly at its
+	// estimate counts as completed, not killed), then expiries.
+	for _, id := range completions {
+		s.finish(id, StateCompleted)
+	}
+	for _, r := range append([]plan.Running(nil), s.running...) {
+		if r.EstimatedEnd() <= s.now {
+			s.finish(r.Job.ID, StateKilled)
+		}
+	}
+
+	out := make([]JobInfo, 0, len(subs))
+	for _, sub := range subs {
+		s.nextID++
+		j := &job.Job{
+			ID: s.nextID, Submit: s.now, Width: sub.Width,
+			Estimate: sub.Estimate, Runtime: sub.Estimate,
+		}
+		s.waiting = append(s.waiting, j)
+		s.infos[j.ID] = &JobInfo{
+			ID: j.ID, Width: j.Width, Estimate: j.Estimate,
+			Submitted: s.now, State: StateWaiting,
+		}
+	}
+
+	s.replan()
+	for id := s.nextID - job.ID(len(subs)) + 1; id <= s.nextID; id++ {
+		out = append(out, *s.infos[id])
+	}
+	return out, nil
+}
+
+// nextActionTime returns the earliest time at which the machine state
+// changes by itself: a planned start or an estimate expiry.
+func (s *Scheduler) nextActionTime() (int64, bool) {
+	var next int64
+	found := false
+	consider := func(t int64) {
+		if t < s.now {
+			t = s.now
+		}
+		if !found || t < next {
+			next, found = t, true
+		}
+	}
+	for _, r := range s.running {
+		consider(r.EstimatedEnd())
+	}
+	if s.plan != nil {
+		for _, e := range s.plan.Entries {
+			// Only entries of still-waiting jobs can act; started jobs
+			// leave stale entries behind until the next replan.
+			if info, ok := s.infos[e.Job.ID]; ok && info.State == StateWaiting {
+				consider(e.Start)
+			}
+		}
+	}
+	return next, found
+}
+
+// finish moves a job out of the running set. Callers hold the lock.
+func (s *Scheduler) finish(id job.ID, state JobState) {
+	for i, r := range s.running {
+		if r.Job.ID == id {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			info := s.infos[id]
+			info.State = state
+			info.Finished = s.now
+			s.done = append(s.done, *info)
+			return
+		}
+	}
+}
+
+// replan recomputes the full schedule and starts due jobs. Callers hold
+// the lock.
+func (s *Scheduler) replan() {
+	s.plan = s.driver.Plan(s.now, s.capacity, s.running, s.waiting)
+	for _, e := range s.plan.Entries {
+		if info, ok := s.infos[e.Job.ID]; ok && info.State == StateWaiting {
+			info.PlannedStart = e.Start
+		}
+	}
+	s.startDue()
+}
+
+// startDue launches every waiting job whose planned start is now.
+// Callers hold the lock.
+func (s *Scheduler) startDue() {
+	if s.plan == nil {
+		return
+	}
+	for _, e := range s.plan.Entries {
+		if e.Start != s.now {
+			continue
+		}
+		info := s.infos[e.Job.ID]
+		if info == nil || info.State != StateWaiting {
+			continue
+		}
+		used := 0
+		for _, r := range s.running {
+			used += r.Job.Width
+		}
+		if used+e.Job.Width > s.capacity {
+			panic(fmt.Sprintf("rms: starting job %d would use %d of %d processors",
+				e.Job.ID, used+e.Job.Width, s.capacity))
+		}
+		for i, wj := range s.waiting {
+			if wj.ID == e.Job.ID {
+				s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
+				break
+			}
+		}
+		s.running = append(s.running, plan.Running{Job: e.Job, Start: s.now})
+		info.State = StateRunning
+		info.Started = s.now
+	}
+}
+
+// Status is a snapshot of the whole system.
+type Status struct {
+	Now          int64
+	Capacity     int
+	UsedProcs    int
+	ActivePolicy policy.Policy
+	Scheduler    string
+	Waiting      []JobInfo // in planned-start order
+	Running      []JobInfo // in start order
+	Finished     int       // completed + killed so far
+}
+
+// Status returns a consistent snapshot.
+func (s *Scheduler) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		Now:          s.now,
+		Capacity:     s.capacity,
+		ActivePolicy: s.driver.ActivePolicy(),
+		Scheduler:    s.driver.Name(),
+		Finished:     len(s.done),
+	}
+	for _, r := range s.running {
+		st.UsedProcs += r.Job.Width
+		st.Running = append(st.Running, *s.infos[r.Job.ID])
+	}
+	for _, w := range s.waiting {
+		st.Waiting = append(st.Waiting, *s.infos[w.ID])
+	}
+	sort.Slice(st.Running, func(i, j int) bool { return st.Running[i].Started < st.Running[j].Started })
+	sort.Slice(st.Waiting, func(i, j int) bool {
+		if st.Waiting[i].PlannedStart != st.Waiting[j].PlannedStart {
+			return st.Waiting[i].PlannedStart < st.Waiting[j].PlannedStart
+		}
+		return st.Waiting[i].ID < st.Waiting[j].ID
+	})
+	return st
+}
+
+// Job returns the status of a single job (including finished ones).
+func (s *Scheduler) Job(id job.ID) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if info, ok := s.infos[id]; ok {
+		return *info, nil
+	}
+	return JobInfo{}, fmt.Errorf("rms: unknown job %d", id)
+}
+
+// Finished returns the jobs that completed or were killed, in finish
+// order.
+func (s *Scheduler) Finished() []JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]JobInfo(nil), s.done...)
+}

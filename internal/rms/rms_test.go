@@ -1,0 +1,489 @@
+package rms
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dynp/internal/core"
+	"dynp/internal/job"
+	"dynp/internal/policy"
+	"dynp/internal/rng"
+	"dynp/internal/sim"
+)
+
+func newFCFS(t *testing.T, capacity int) *Scheduler {
+	t.Helper()
+	s, err := New(capacity, &sim.Static{Policy: policy.FCFS}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, &sim.Static{Policy: policy.FCFS}, 0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := New(4, nil, 0); err == nil {
+		t.Error("nil driver accepted")
+	}
+}
+
+func TestSubmitStartsImmediatelyOnIdleMachine(t *testing.T) {
+	s := newFCFS(t, 8)
+	info, err := s.Submit(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateRunning || info.Started != 0 {
+		t.Fatalf("job = %+v, want running at 0", info)
+	}
+	st := s.Status()
+	if st.UsedProcs != 4 || len(st.Running) != 1 || len(st.Waiting) != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newFCFS(t, 8)
+	if _, err := s.Submit(0, 10); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := s.Submit(9, 10); err == nil {
+		t.Error("width 9 accepted on 8-processor machine")
+	}
+	if _, err := s.Submit(1, 0); err == nil {
+		t.Error("estimate 0 accepted")
+	}
+}
+
+func TestQueueingAndPlannedStart(t *testing.T) {
+	s := newFCFS(t, 4)
+	a, _ := s.Submit(4, 100)
+	b, err := s.Submit(4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.State != StateRunning {
+		t.Fatalf("a = %+v", a)
+	}
+	if b.State != StateWaiting || b.PlannedStart != 100 {
+		t.Fatalf("b = %+v, want waiting with planned start 100", b)
+	}
+}
+
+func TestEarlyCompletionPullsWorkForward(t *testing.T) {
+	s := newFCFS(t, 4)
+	a, _ := s.Submit(4, 100)
+	s.Submit(4, 50)
+	if err := s.Advance(30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Complete(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Status()
+	if len(st.Running) != 1 || st.Running[0].Started != 30 {
+		t.Fatalf("b should start at 30, status %+v", st)
+	}
+}
+
+func TestKillAtEstimate(t *testing.T) {
+	s := newFCFS(t, 4)
+	a, _ := s.Submit(4, 100)
+	if err := s.Advance(150); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Job(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateKilled || info.Finished != 100 {
+		t.Fatalf("job = %+v, want killed at 100", info)
+	}
+}
+
+func TestKillFreesProcessorsForWaiting(t *testing.T) {
+	s := newFCFS(t, 4)
+	s.Submit(4, 100)
+	b, _ := s.Submit(2, 50)
+	if err := s.Advance(120); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := s.Job(b.ID)
+	if info.State != StateRunning || info.Started != 100 {
+		t.Fatalf("b = %+v, want started at 100 after the kill", info)
+	}
+}
+
+func TestCompleteValidation(t *testing.T) {
+	s := newFCFS(t, 4)
+	if _, err := s.Complete(99); err == nil {
+		t.Error("unknown job accepted")
+	}
+	s.Submit(4, 100)
+	b, _ := s.Submit(1, 10)
+	if _, err := s.Complete(b.ID); err == nil {
+		t.Error("completing a waiting job accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := newFCFS(t, 4)
+	a, _ := s.Submit(4, 100)
+	b, _ := s.Submit(2, 50)
+	if err := s.Cancel(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Job(b.ID); err == nil {
+		t.Error("cancelled job still known")
+	}
+	if err := s.Cancel(a.ID); err == nil {
+		t.Error("cancelling a running job accepted")
+	}
+}
+
+func TestAdvanceBackwardsRejected(t *testing.T) {
+	s := newFCFS(t, 4)
+	if err := s.Advance(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Advance(50); err == nil {
+		t.Fatal("clock moved backwards")
+	}
+}
+
+func TestBackfillingOnline(t *testing.T) {
+	// 8 processors. a: width 6 runs [0, 100). b: width 8 waits for 100.
+	// c: width 2, est 50 backfills immediately.
+	s := newFCFS(t, 8)
+	s.Submit(6, 100)
+	b, _ := s.Submit(8, 100)
+	c, _ := s.Submit(2, 50)
+	ci, _ := s.Job(c.ID)
+	if ci.State != StateRunning || ci.Started != 0 {
+		t.Fatalf("c = %+v, want backfilled at 0", ci)
+	}
+	bi, _ := s.Job(b.ID)
+	if bi.State != StateWaiting || bi.PlannedStart != 100 {
+		t.Fatalf("b = %+v", bi)
+	}
+}
+
+func TestDynPDriverOnline(t *testing.T) {
+	d := sim.NewDynP(core.Preferred{Policy: policy.SJF})
+	s, err := New(8, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long and a short job behind a blocker: SJF should order the
+	// short one first once the blocker frees the machine.
+	s.Submit(8, 100)            // blocker
+	long, _ := s.Submit(8, 500) // submitted first
+	short, _ := s.Submit(8, 10) // shorter, submitted second
+	li, _ := s.Job(long.ID)
+	si, _ := s.Job(short.ID)
+	if !(si.PlannedStart < li.PlannedStart) {
+		t.Fatalf("SJF ordering violated: short %d, long %d", si.PlannedStart, li.PlannedStart)
+	}
+	if st := s.Status(); st.ActivePolicy != policy.SJF {
+		t.Fatalf("active policy = %v", st.ActivePolicy)
+	}
+}
+
+func TestFinishedLog(t *testing.T) {
+	s := newFCFS(t, 4)
+	a, _ := s.Submit(2, 100)
+	s.Advance(10)
+	s.Complete(a.ID)
+	b, _ := s.Submit(2, 20)
+	s.Advance(50) // b killed at 30
+	done := s.Finished()
+	if len(done) != 2 {
+		t.Fatalf("finished = %+v", done)
+	}
+	if done[0].ID != a.ID || done[0].State != StateCompleted {
+		t.Fatalf("first = %+v", done[0])
+	}
+	if done[1].ID != b.ID || done[1].State != StateKilled || done[1].Finished != 30 {
+		t.Fatalf("second = %+v", done[1])
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateWaiting.String() != "waiting" || StateKilled.String() != "killed" {
+		t.Fatal("state names wrong")
+	}
+	if JobState(99).String() == "" {
+		t.Fatal("out of range state empty")
+	}
+}
+
+// TestPropertyOnlineMatchesOfflineSim replays random job sets through the
+// online scheduler as a proper event loop (submissions, client-reported
+// completions, RMS kills, planned starts) and checks that every job starts
+// exactly when the offline simulator starts it on the same input.
+func TestPropertyOnlineMatchesOfflineSim(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		return onlineMatchesOffline(t, seed)
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnlineMatchesOfflineRegressionSeeds pins seeds that once failed.
+func TestOnlineMatchesOfflineRegressionSeeds(t *testing.T) {
+	for _, seed := range []uint64{0xbf1935662dda1936} {
+		if !onlineMatchesOffline(t, seed) {
+			t.Fatalf("seed %#x diverges", seed)
+		}
+	}
+}
+
+func onlineMatchesOffline(t *testing.T, seed uint64) bool {
+	{
+		r := rng.New(seed)
+		const n, capacity = 40, 8
+		set := &job.Set{Name: "p", Machine: capacity}
+		var clock int64
+		for i := 0; i < n; i++ {
+			clock += int64(r.Intn(50))
+			est := int64(1 + r.Intn(100))
+			set.Jobs = append(set.Jobs, &job.Job{
+				ID: job.ID(i + 1), Submit: clock,
+				Width: 1 + r.Intn(capacity), Estimate: est,
+				Runtime: 1 + r.Int63n(est),
+			})
+		}
+		offline, err := sim.Run(set, &sim.Static{Policy: policy.FCFS})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		offStart := map[job.ID]int64{}
+		for _, rec := range offline.Records {
+			offStart[rec.Job.ID] = rec.Start
+		}
+
+		online, err := New(capacity, &sim.Static{Policy: policy.FCFS}, 0)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+
+		const inf = int64(1) << 60
+		subIdx := 0
+		idMap := map[job.ID]job.ID{}   // set ID -> online ID
+		backMap := map[job.ID]job.ID{} // online ID -> set ID
+		comp := map[job.ID]int64{}     // online ID -> client completion time
+		started := map[job.ID]bool{}   // online IDs already discovered running
+
+		// discover registers completion events for newly started jobs; a
+		// job whose actual run time equals its estimate is left to the
+		// RMS kill, which fires at the same instant.
+		discover := func() {
+			st := online.Status()
+			for _, ri := range st.Running {
+				if started[ri.ID] {
+					continue
+				}
+				started[ri.ID] = true
+				setJob := set.Jobs[backMap[ri.ID]-1]
+				if setJob.Runtime < setJob.Estimate {
+					comp[ri.ID] = ri.Started + setJob.Runtime
+				}
+			}
+		}
+
+		for round := 0; ; round++ {
+			if round > 10*n+1000 {
+				t.Logf("seed %d: event loop did not terminate", seed)
+				return false
+			}
+			st := online.Status()
+			next := inf
+			if subIdx < len(set.Jobs) && set.Jobs[subIdx].Submit < next {
+				next = set.Jobs[subIdx].Submit
+			}
+			for _, tc := range comp {
+				if tc < next {
+					next = tc
+				}
+			}
+			for _, ri := range st.Running {
+				if _, hasComp := comp[ri.ID]; !hasComp {
+					if end := ri.Started + ri.Estimate; end < next {
+						next = end
+					}
+				}
+			}
+			for _, wi := range st.Waiting {
+				if wi.PlannedStart < next {
+					next = wi.PlannedStart
+				}
+			}
+			if next == inf {
+				break
+			}
+			// Batch every event at this instant and deliver atomically —
+			// the offline simulator applies all same-time events before
+			// one replanning step, and Deliver mirrors exactly that.
+			var doneIDs []job.ID
+			for id, tc := range comp {
+				if tc == next {
+					doneIDs = append(doneIDs, id)
+					delete(comp, id)
+				}
+			}
+			sort.Slice(doneIDs, func(a, b int) bool { return doneIDs[a] < doneIDs[b] })
+			var subs []Submission
+			var setIDs []job.ID
+			for subIdx < len(set.Jobs) && set.Jobs[subIdx].Submit == next {
+				j := set.Jobs[subIdx]
+				subs = append(subs, Submission{Width: j.Width, Estimate: j.Estimate})
+				setIDs = append(setIDs, j.ID)
+				subIdx++
+			}
+			infos, err := online.Deliver(next, doneIDs, subs)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			for i, info := range infos {
+				idMap[setIDs[i]] = info.ID
+				backMap[info.ID] = setIDs[i]
+			}
+			discover()
+		}
+
+		if got := len(online.Finished()); got != n {
+			t.Logf("seed %d: %d of %d jobs finished", seed, got, n)
+			return false
+		}
+		for setID, onlineID := range idMap {
+			info, err := online.Job(onlineID)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if info.Started != offStart[setID] {
+				t.Logf("seed %d: job %d online start %d, offline %d",
+					seed, setID, info.Started, offStart[setID])
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func TestReport(t *testing.T) {
+	s := newFCFS(t, 4)
+	// Job a: width 2, runs [0, 40) (reported done), waited 0.
+	a, _ := s.Submit(2, 100)
+	// Job b: width 4, waits for a's estimated end... but a completes at
+	// 40, so b starts then and is killed at 40+50.
+	b, _ := s.Submit(4, 50)
+	s.Advance(40)
+	if _, err := s.Complete(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(200)
+
+	rep := s.Report()
+	if rep.Jobs != 2 || rep.Killed != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// a: run 40, wait 0, resp 40, slowdown 1, area 80.
+	// b: run 50, wait 40, resp 90, slowdown 1.8, area 200.
+	wantSLDwA := (80.0*1 + 200*1.8) / 280
+	if diff := rep.SLDwA - wantSLDwA; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("SLDwA = %v, want %v", rep.SLDwA, wantSLDwA)
+	}
+	// Area 280 over capacity 4 x span 90.
+	wantUtil := 280.0 / (4 * 90)
+	if diff := rep.Util - wantUtil; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Util = %v, want %v", rep.Util, wantUtil)
+	}
+	if rep.MaxWait != 40 || rep.AWT != 20 || rep.ART != 65 {
+		t.Fatalf("wait/resp stats wrong: %+v", rep)
+	}
+	_ = b
+}
+
+func TestReportEmpty(t *testing.T) {
+	s := newFCFS(t, 4)
+	s.Advance(123)
+	rep := s.Report()
+	if rep.Jobs != 0 || rep.SLDwA != 0 || rep.Now != 123 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+}
+
+func TestDeliverBatchAtomicOrdering(t *testing.T) {
+	// Machine 4: a (width 2) runs [0, 100) est 100; d (width 2) runs
+	// beside it. At t=50, one batch delivers a's completion together
+	// with a new submission; the new job must see the freed processors
+	// in the same replanning step.
+	s := newFCFS(t, 4)
+	a, _ := s.Submit(2, 100)
+	s.Submit(2, 200)
+	infos, err := s.Deliver(50, []job.ID{a.ID}, []Submission{{Width: 2, Estimate: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("infos = %+v", infos)
+	}
+	if infos[0].State != StateRunning || infos[0].Started != 50 {
+		t.Fatalf("batched submission should start immediately: %+v", infos[0])
+	}
+	ai, _ := s.Job(a.ID)
+	if ai.State != StateCompleted || ai.Finished != 50 {
+		t.Fatalf("a = %+v", ai)
+	}
+}
+
+func TestDeliverValidatesAtomically(t *testing.T) {
+	s := newFCFS(t, 4)
+	a, _ := s.Submit(2, 100)
+	// Batch with a valid completion but an invalid submission: nothing
+	// may be applied.
+	if _, err := s.Deliver(10, []job.ID{a.ID}, []Submission{{Width: 99, Estimate: 10}}); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	ai, _ := s.Job(a.ID)
+	if ai.State != StateRunning {
+		t.Fatalf("half-applied batch: a = %+v", ai)
+	}
+	if s.Now() != 10 {
+		// The clock may legitimately advance to the delivery instant.
+		t.Logf("now = %d", s.Now())
+	}
+	// Unknown completion also rejects the batch.
+	if _, err := s.Deliver(20, []job.ID{777}, nil); err == nil {
+		t.Fatal("unknown completion accepted")
+	}
+}
+
+func TestDeliverCompletionBeatsKillAtSameInstant(t *testing.T) {
+	s := newFCFS(t, 4)
+	a, _ := s.Submit(2, 100)
+	// The client reports completion exactly at the estimate expiry; the
+	// job must count as completed, not killed.
+	if _, err := s.Deliver(100, []job.ID{a.ID}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ai, _ := s.Job(a.ID)
+	if ai.State != StateCompleted || ai.Finished != 100 {
+		t.Fatalf("a = %+v", ai)
+	}
+}
+
+func TestDeliverRejectsPastTime(t *testing.T) {
+	s := newFCFS(t, 4)
+	s.Advance(100)
+	if _, err := s.Deliver(50, nil, nil); err == nil {
+		t.Fatal("delivery in the past accepted")
+	}
+}

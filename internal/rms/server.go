@@ -1,0 +1,194 @@
+package rms
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dynp/internal/job"
+)
+
+// Server exposes a Scheduler over a newline-delimited JSON protocol, the
+// role the RMS frontend plays for cluster users. One JSON object per line
+// in, one per line out.
+//
+// Requests:
+//
+//	{"op":"submit","width":4,"estimate":3600}
+//	{"op":"done","id":7}
+//	{"op":"cancel","id":7}
+//	{"op":"job","id":7}
+//	{"op":"status"}
+//	{"op":"finished"}
+//	{"op":"report"}             metrics over finished jobs (SLDwA, util, ...)
+//	{"op":"tick","to":5000}     advance the virtual clock (virtual mode)
+//
+// Responses carry {"ok":true,...} or {"ok":false,"error":"..."}.
+type Server struct {
+	sched *Scheduler
+	// AllowTick enables the "tick" op; a real-time daemon drives the
+	// clock itself and rejects client ticks.
+	AllowTick bool
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a scheduler.
+func NewServer(s *Scheduler, allowTick bool) *Server {
+	return &Server{sched: s, AllowTick: allowTick}
+}
+
+// Request is one protocol request.
+type Request struct {
+	Op       string `json:"op"`
+	Width    int    `json:"width,omitempty"`
+	Estimate int64  `json:"estimate,omitempty"`
+	ID       int64  `json:"id,omitempty"`
+	To       int64  `json:"to,omitempty"`
+}
+
+// Response is one protocol response.
+type Response struct {
+	OK       bool      `json:"ok"`
+	Error    string    `json:"error,omitempty"`
+	Job      *JobInfo  `json:"job,omitempty"`
+	Status   *Status   `json:"status,omitempty"`
+	Finished []JobInfo `json:"finished,omitempty"`
+	Report   *Report   `json:"report,omitempty"`
+	Now      int64     `json:"now,omitempty"`
+}
+
+// Handle executes one request against the scheduler.
+func (sv *Server) Handle(req Request) Response {
+	fail := func(err error) Response { return Response{Error: err.Error()} }
+	switch req.Op {
+	case "submit":
+		info, err := sv.sched.Submit(req.Width, req.Estimate)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Job: &info, Now: sv.sched.Now()}
+	case "done":
+		info, err := sv.sched.Complete(job.ID(req.ID))
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Job: &info, Now: sv.sched.Now()}
+	case "cancel":
+		if err := sv.sched.Cancel(job.ID(req.ID)); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Now: sv.sched.Now()}
+	case "job":
+		info, err := sv.sched.Job(job.ID(req.ID))
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Job: &info, Now: sv.sched.Now()}
+	case "status":
+		st := sv.sched.Status()
+		return Response{OK: true, Status: &st, Now: st.Now}
+	case "finished":
+		return Response{OK: true, Finished: sv.sched.Finished(), Now: sv.sched.Now()}
+	case "report":
+		rep := sv.sched.Report()
+		return Response{OK: true, Report: &rep, Now: rep.Now}
+	case "tick":
+		if !sv.AllowTick {
+			return fail(fmt.Errorf("rms: tick disabled (real-time mode)"))
+		}
+		if err := sv.sched.Advance(req.To); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Now: sv.sched.Now()}
+	default:
+		return fail(fmt.Errorf("rms: unknown op %q", req.Op))
+	}
+}
+
+// ServeConn speaks the protocol on one connection until EOF.
+func (sv *Server) ServeConn(conn io.ReadWriter) error {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<16)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Response{Error: fmt.Sprintf("rms: bad request: %v", err)}
+		} else {
+			resp = sv.Handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Listen serves the protocol on a TCP address until Close is called. It
+// returns the bound address (useful with ":0").
+func (sv *Server) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sv.mu.Lock()
+	sv.listener = l
+	if sv.conns == nil {
+		sv.conns = make(map[net.Conn]struct{})
+	}
+	sv.mu.Unlock()
+	sv.wg.Add(1)
+	go func() {
+		defer sv.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			sv.mu.Lock()
+			sv.conns[conn] = struct{}{}
+			sv.mu.Unlock()
+			sv.wg.Add(1)
+			go func() {
+				defer sv.wg.Done()
+				defer func() {
+					sv.mu.Lock()
+					delete(sv.conns, conn)
+					sv.mu.Unlock()
+					conn.Close()
+				}()
+				_ = sv.ServeConn(conn)
+			}()
+		}
+	}()
+	return l.Addr(), nil
+}
+
+// Close stops the listener, disconnects clients and waits for handlers.
+func (sv *Server) Close() error {
+	sv.mu.Lock()
+	l := sv.listener
+	sv.listener = nil
+	for c := range sv.conns {
+		c.Close()
+	}
+	sv.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	sv.wg.Wait()
+	return err
+}

@@ -1,0 +1,170 @@
+package rms
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+
+	"dynp/internal/policy"
+	"dynp/internal/sim"
+)
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(8, &sim.Static{Policy: policy.FCFS}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(s, true)
+}
+
+func TestHandleSubmitStatusDone(t *testing.T) {
+	sv := newServer(t)
+	resp := sv.Handle(Request{Op: "submit", Width: 4, Estimate: 100})
+	if !resp.OK || resp.Job == nil || resp.Job.State != StateRunning {
+		t.Fatalf("submit = %+v", resp)
+	}
+	id := int64(resp.Job.ID)
+
+	resp = sv.Handle(Request{Op: "status"})
+	if !resp.OK || resp.Status == nil || resp.Status.UsedProcs != 4 {
+		t.Fatalf("status = %+v", resp)
+	}
+
+	resp = sv.Handle(Request{Op: "tick", To: 50})
+	if !resp.OK || resp.Now != 50 {
+		t.Fatalf("tick = %+v", resp)
+	}
+
+	resp = sv.Handle(Request{Op: "done", ID: id})
+	if !resp.OK || resp.Job.State != StateCompleted || resp.Job.Finished != 50 {
+		t.Fatalf("done = %+v", resp)
+	}
+
+	resp = sv.Handle(Request{Op: "finished"})
+	if !resp.OK || len(resp.Finished) != 1 {
+		t.Fatalf("finished = %+v", resp)
+	}
+}
+
+func TestHandleErrors(t *testing.T) {
+	sv := newServer(t)
+	for _, req := range []Request{
+		{Op: "submit", Width: 0, Estimate: 10},
+		{Op: "done", ID: 99},
+		{Op: "cancel", ID: 99},
+		{Op: "job", ID: 99},
+		{Op: "nonsense"},
+	} {
+		if resp := sv.Handle(req); resp.OK || resp.Error == "" {
+			t.Errorf("request %+v did not fail", req)
+		}
+	}
+}
+
+func TestHandleTickDisabled(t *testing.T) {
+	s, err := New(8, &sim.Static{Policy: policy.FCFS}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := NewServer(s, false)
+	if resp := sv.Handle(Request{Op: "tick", To: 10}); resp.OK {
+		t.Fatal("tick accepted in real-time mode")
+	}
+}
+
+func TestServeConnProtocol(t *testing.T) {
+	sv := newServer(t)
+	client, server := net.Pipe()
+	go func() {
+		_ = sv.ServeConn(server)
+		server.Close()
+	}()
+	enc := json.NewEncoder(client)
+	dec := json.NewDecoder(bufio.NewReader(client))
+
+	roundTrip := func(req Request) Response {
+		t.Helper()
+		if err := enc.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if resp := roundTrip(Request{Op: "submit", Width: 2, Estimate: 60}); !resp.OK {
+		t.Fatalf("submit over pipe: %+v", resp)
+	}
+	if resp := roundTrip(Request{Op: "status"}); !resp.OK || resp.Status.UsedProcs != 2 {
+		t.Fatalf("status over pipe: %+v", resp)
+	}
+	client.Close()
+}
+
+func TestServeConnBadJSON(t *testing.T) {
+	sv := newServer(t)
+	in := strings.NewReader("this is not json\n")
+	var out strings.Builder
+	rw := struct {
+		*strings.Reader
+		*strings.Builder
+	}{in, &out}
+	if err := sv.ServeConn(rw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bad request") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestListenAndServeTCP(t *testing.T) {
+	sv := newServer(t)
+	addr, err := sv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if _, err := conn.Write([]byte(`{"op":"submit","width":3,"estimate":30}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Job == nil || resp.Job.Width != 3 {
+		t.Fatalf("response = %+v", resp)
+	}
+}
+
+func TestCloseDisconnectsClients(t *testing.T) {
+	sv := newServer(t)
+	addr, err := sv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := sv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The connection must be closed by the server: reads end.
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection still open after Close")
+	}
+}

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"dynp/internal/core"
+	"dynp/internal/job"
+	"dynp/internal/plan"
+	"dynp/internal/policy"
+)
+
+// DynP is the Driver for the self-tuning dynP scheduler: every scheduling
+// event performs one self-tuning step (three what-if schedules, one per
+// candidate policy, scored and decided).
+type DynP struct {
+	Tuner *core.SelfTuner
+	label string
+}
+
+// NewDynP returns a dynP driver over the paper's candidate set with the
+// given decider and the paper's decision metric (planned SLDwA). The
+// initial active policy is FCFS, matching a freshly started scheduler.
+func NewDynP(d core.Decider) *DynP {
+	return &DynP{Tuner: core.NewSelfTuner(nil, d, core.MetricSLDwA),
+		label: "dynP/" + d.Name()}
+}
+
+// NewDynPWith returns a dynP driver with full control over candidate set,
+// decider and decision metric, for the ablation experiments.
+func NewDynPWith(candidates []policy.Policy, d core.Decider, m core.Metric) *DynP {
+	return &DynP{Tuner: core.NewSelfTuner(candidates, d, m),
+		label: "dynP/" + d.Name() + "/" + m.String()}
+}
+
+// Name implements Driver.
+func (d *DynP) Name() string { return d.label }
+
+// Plan implements Driver by performing one self-tuning step.
+func (d *DynP) Plan(now int64, capacity int, running []plan.Running, waiting []*job.Job) *plan.Schedule {
+	return d.Tuner.Plan(now, capacity, running, waiting)
+}
+
+// ActivePolicy implements Driver.
+func (d *DynP) ActivePolicy() policy.Policy { return d.Tuner.Active() }
+
+// Stats exposes the tuner's decision statistics.
+func (d *DynP) Stats() core.Stats { return d.Tuner.Stats() }

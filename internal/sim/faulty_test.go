@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"dynp/internal/job"
+	"dynp/internal/plan"
+	"dynp/internal/policy"
+)
+
+// faultyDriver returns schedules crafted to violate the engine's
+// assumptions, to prove the engine fails loudly instead of corrupting the
+// machine state.
+type faultyDriver struct {
+	mode string
+}
+
+func (f *faultyDriver) Name() string                { return "faulty/" + f.mode }
+func (f *faultyDriver) ActivePolicy() policy.Policy { return policy.FCFS }
+
+func (f *faultyDriver) Plan(now int64, capacity int, running []plan.Running, waiting []*job.Job) *plan.Schedule {
+	s := &plan.Schedule{Now: now, Capacity: capacity, Policy: policy.FCFS}
+	switch f.mode {
+	case "overcommit":
+		// Start everything immediately regardless of capacity.
+		for _, j := range waiting {
+			s.Entries = append(s.Entries, plan.Entry{Job: j, Start: now})
+		}
+	case "never":
+		// Plan everything for a far future that never arrives.
+		for _, j := range waiting {
+			s.Entries = append(s.Entries, plan.Entry{Job: j, Start: now + (1 << 40)})
+		}
+	}
+	return s
+}
+
+func TestEngineRejectsOvercommittingDriver(t *testing.T) {
+	set := mkSet(4,
+		j(1, 0, 3, 10, 10),
+		j(2, 0, 3, 10, 10),
+	)
+	_, err := Run(set, &faultyDriver{mode: "overcommit"})
+	if err == nil {
+		t.Fatal("over-committing driver accepted")
+	}
+	if !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestEngineDetectsStarvingDriver(t *testing.T) {
+	// A driver that never starts anything leaves jobs uncompleted; the
+	// engine must report that rather than looping or succeeding.
+	set := mkSet(4, j(1, 0, 1, 10, 10))
+	_, err := Run(set, &faultyDriver{mode: "never"})
+	if err == nil {
+		t.Fatal("starving driver accepted")
+	}
+	if !strings.Contains(err.Error(), "jobs completed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestVerifyCatchesFaultySchedules(t *testing.T) {
+	set := mkSet(4,
+		j(1, 0, 3, 10, 10),
+		j(2, 0, 3, 10, 10),
+	)
+	_, err := Run(set, &faultyDriver{mode: "overcommit"}, WithVerify())
+	if err == nil {
+		t.Fatal("WithVerify accepted an infeasible schedule")
+	}
+}

@@ -1,0 +1,238 @@
+// Package sim is the discrete event simulator of a planning-based resource
+// management system. The machine is a space-shared pool of identical
+// processors; scheduling events are job submissions and job completions; at
+// every event the active scheduler driver recomputes the full schedule and
+// the engine starts all jobs whose planned start time equals the current
+// simulation time.
+//
+// Jobs run for their actual run time, which is at most their estimate.
+// Because running jobs reserve their processors until the estimated end,
+// every waiting job's planned start time coincides with the current time or
+// with the estimated end of a running job — and the corresponding actual
+// completion event fires no later than that, so starts are always triggered
+// by an event and the event loop needs no additional timers.
+package sim
+
+import (
+	"fmt"
+
+	"dynp/internal/eventq"
+	"dynp/internal/job"
+	"dynp/internal/plan"
+	"dynp/internal/policy"
+)
+
+// Driver produces the full schedule at every scheduling event. It is
+// implemented by Static (one fixed policy) and by DynP (the self-tuning
+// dynP scheduler of internal/core).
+type Driver interface {
+	// Name identifies the scheduler in result tables.
+	Name() string
+	// Plan computes a full schedule for the waiting jobs.
+	Plan(now int64, capacity int, running []plan.Running, waiting []*job.Job) *plan.Schedule
+	// ActivePolicy returns the policy the last plan was built with.
+	ActivePolicy() policy.Policy
+}
+
+// Static is a Driver that always uses a single policy — the paper's basic
+// scheduling approach used as the baseline.
+type Static struct {
+	Policy policy.Policy
+}
+
+// Name implements Driver.
+func (s *Static) Name() string { return s.Policy.String() }
+
+// Plan implements Driver.
+func (s *Static) Plan(now int64, capacity int, running []plan.Running, waiting []*job.Job) *plan.Schedule {
+	return plan.Build(now, capacity, running, waiting, s.Policy)
+}
+
+// ActivePolicy implements Driver.
+func (s *Static) ActivePolicy() policy.Policy { return s.Policy }
+
+// Record is the outcome of one job.
+type Record struct {
+	Job    *job.Job
+	Start  int64
+	Finish int64 // Start + actual run time
+}
+
+// Wait returns the job's waiting time.
+func (r Record) Wait() int64 { return r.Start - r.Job.Submit }
+
+// Response returns the job's response time (wait + run).
+func (r Record) Response() int64 { return r.Finish - r.Job.Submit }
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Set       *job.Set
+	Scheduler string
+	Records   []Record // in completion order
+	Makespan  int64    // last completion time
+	First     int64    // first submission time
+	Events    int      // scheduling events processed
+
+	// PolicyTime maps each policy to the simulated time it was active,
+	// weighted by the span between scheduling events. For static drivers
+	// it contains a single entry.
+	PolicyTime map[policy.Policy]int64
+}
+
+// event payloads.
+type evKind int
+
+const (
+	evFinish evKind = iota // processed before submissions at equal time
+	evSubmit
+)
+
+type event struct {
+	kind evKind
+	job  *job.Job
+}
+
+// Option configures a simulation run.
+type Option func(*engine)
+
+// WithVerify makes the engine verify every schedule against the current
+// machine state (slow; used by tests and debugging).
+func WithVerify() Option { return func(e *engine) { e.verify = true } }
+
+// WithQueueProbe registers a callback invoked after every scheduling event
+// with the current time and waiting-queue length, for queue-dynamics
+// analyses.
+func WithQueueProbe(probe func(now int64, queued int)) Option {
+	return func(e *engine) { e.probe = probe }
+}
+
+type engine struct {
+	set      *job.Set
+	driver   Driver
+	events   eventq.Queue[event]
+	running  []plan.Running
+	waiting  []*job.Job
+	used     int // processors in use
+	verify   bool
+	probe    func(int64, int)
+	finished map[job.ID]bool
+}
+
+// Run simulates the job set under the given scheduler driver and returns
+// the per-job records and run statistics. The job set must validate.
+func Run(set *job.Set, driver Driver, opts ...Option) (*Result, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{set: set, driver: driver, finished: make(map[job.ID]bool, len(set.Jobs))}
+	for _, o := range opts {
+		o(e)
+	}
+	for _, j := range set.Jobs {
+		e.events.Push(j.Submit, int(evSubmit), event{evSubmit, j})
+	}
+
+	res := &Result{
+		Set:        set,
+		Scheduler:  driver.Name(),
+		Records:    make([]Record, 0, len(set.Jobs)),
+		PolicyTime: make(map[policy.Policy]int64),
+	}
+	if len(set.Jobs) > 0 {
+		res.First = set.Jobs[0].Submit
+	}
+
+	starts := make(map[job.ID]int64, len(set.Jobs))
+	lastEvent := res.First
+	for e.events.Len() > 0 {
+		head, _ := e.events.Peek()
+		now := head.Time
+
+		// Attribute the elapsed span to the policy active since the
+		// previous event.
+		if now > lastEvent {
+			res.PolicyTime[e.driver.ActivePolicy()] += now - lastEvent
+			lastEvent = now
+		}
+
+		// Apply every event at this instant before replanning:
+		// completions free processors, submissions extend the queue.
+		for e.events.Len() > 0 {
+			if h, _ := e.events.Peek(); h.Time != now {
+				break
+			}
+			ev, _ := e.events.Pop()
+			switch ev.Payload.kind {
+			case evFinish:
+				e.removeRunning(ev.Payload.job)
+				res.Records = append(res.Records, Record{
+					Job:    ev.Payload.job,
+					Start:  starts[ev.Payload.job.ID],
+					Finish: now,
+				})
+				if now > res.Makespan {
+					res.Makespan = now
+				}
+			case evSubmit:
+				e.waiting = append(e.waiting, ev.Payload.job)
+			}
+		}
+
+		// One scheduling event: recompute the full schedule.
+		schedule := e.driver.Plan(now, set.Machine, e.running, e.waiting)
+		res.Events++
+		if e.verify {
+			if err := schedule.Verify(e.running); err != nil {
+				return nil, fmt.Errorf("sim: at t=%d: %w", now, err)
+			}
+		}
+
+		// Launch the jobs planned to start right now.
+		for _, entry := range schedule.StartingNow() {
+			j := entry.Job
+			if e.used+j.Width > set.Machine {
+				return nil, fmt.Errorf("sim: at t=%d: starting %s exceeds capacity (%d used of %d)",
+					now, j, e.used, set.Machine)
+			}
+			e.used += j.Width
+			e.running = append(e.running, plan.Running{Job: j, Start: now})
+			e.removeWaiting(j)
+			starts[j.ID] = now
+			e.events.Push(now+j.Runtime, int(evFinish), event{evFinish, j})
+		}
+
+		if e.probe != nil {
+			e.probe(now, len(e.waiting))
+		}
+	}
+
+	if len(res.Records) != len(set.Jobs) {
+		return nil, fmt.Errorf("sim: %d of %d jobs completed", len(res.Records), len(set.Jobs))
+	}
+	return res, nil
+}
+
+func (e *engine) removeRunning(j *job.Job) {
+	for i, r := range e.running {
+		if r.Job.ID == j.ID {
+			e.used -= j.Width
+			e.running = append(e.running[:i], e.running[i+1:]...)
+			if e.finished[j.ID] {
+				panic(fmt.Sprintf("sim: %s finished twice", j))
+			}
+			e.finished[j.ID] = true
+			return
+		}
+	}
+	panic(fmt.Sprintf("sim: finish event for %s which is not running", j))
+}
+
+func (e *engine) removeWaiting(j *job.Job) {
+	for i, w := range e.waiting {
+		if w.ID == j.ID {
+			e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sim: started %s which is not waiting", j))
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"dynp/internal/core"
+	"dynp/internal/job"
+	"dynp/internal/policy"
+	"dynp/internal/rng"
+)
+
+// TestAllSchedulersAgreeWithoutContention: when the machine never
+// saturates (every job fits at submission), scheduling policy is
+// irrelevant — every driver must start every job immediately. This pins
+// down a subtle class of bugs where a scheduler delays work the machine
+// could run.
+func TestAllSchedulersAgreeWithoutContention(t *testing.T) {
+	r := rng.New(61)
+	const capacity = 64
+	set := &job.Set{Name: "sparse", Machine: capacity}
+	clock := int64(0)
+	for i := 0; i < 120; i++ {
+		// Interarrival always exceeds every runtime: no overlap at all.
+		clock += 1000 + int64(r.Intn(1000))
+		est := int64(1 + r.Intn(500))
+		set.Jobs = append(set.Jobs, &job.Job{
+			ID: job.ID(i + 1), Submit: clock,
+			Width: 1 + r.Intn(capacity), Estimate: est, Runtime: 1 + r.Int63n(est),
+		})
+	}
+	drivers := []Driver{
+		&Static{Policy: policy.FCFS},
+		&Static{Policy: policy.SJF},
+		&Static{Policy: policy.LJF},
+		NewDynP(core.Simple{}),
+		NewDynP(core.Advanced{}),
+		NewDynP(core.Preferred{Policy: policy.SJF}),
+		&EASY{Base: policy.FCFS},
+	}
+	for _, d := range drivers {
+		res, err := Run(set, d, WithVerify())
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		for _, rec := range res.Records {
+			if rec.Start != rec.Job.Submit {
+				t.Fatalf("%s: %s delayed to %d without contention",
+					d.Name(), rec.Job, rec.Start)
+			}
+		}
+	}
+}
+
+// TestModerateOverlapSchedulersStillAgreeOnStarts: with pairwise overlap
+// but never more demand than capacity, starts must still be immediate.
+func TestModerateOverlapSchedulersStillAgreeOnStarts(t *testing.T) {
+	set := &job.Set{Name: "overlap", Machine: 10}
+	for i := 0; i < 50; i++ {
+		set.Jobs = append(set.Jobs, &job.Job{
+			ID: job.ID(i + 1), Submit: int64(i * 10),
+			Width: 5, Estimate: 20, Runtime: 20,
+		})
+	}
+	// At any instant at most two jobs overlap (widths 5+5 = machine).
+	for _, d := range []Driver{
+		&Static{Policy: policy.LJF},
+		NewDynP(core.Preferred{Policy: policy.SJF}),
+		&EASY{Base: policy.FCFS},
+	} {
+		res, err := Run(set, d, WithVerify())
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		for _, rec := range res.Records {
+			if rec.Start != rec.Job.Submit {
+				t.Fatalf("%s: %s delayed", d.Name(), rec.Job)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package stats provides the statistical substrate of the workload
+// generators and the experiment harness: random variate distributions,
+// moment fitting for clamped log-normals, and summary statistics including
+// the drop-min/max ("trimmed") mean the paper uses to combine the results
+// of the ten job sets per trace.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"dynp/internal/rng"
+)
+
+// Dist is a continuous distribution that can be sampled from a stream.
+type Dist interface {
+	// Sample draws one variate.
+	Sample(r *rng.Stream) float64
+	// Mean returns the analytic mean of the distribution.
+	Mean() float64
+}
+
+// Exponential is an exponential distribution with the given mean.
+type Exponential struct {
+	M float64
+}
+
+// Sample draws an exponential variate.
+func (e Exponential) Sample(r *rng.Stream) float64 { return e.M * r.ExpFloat64() }
+
+// Mean returns the distribution mean.
+func (e Exponential) Mean() float64 { return e.M }
+
+// HyperExp2 is a two-phase hyper-exponential distribution: with probability
+// P the variate is exponential with mean M1, otherwise exponential with mean
+// M2. Hyper-exponentials have a coefficient of variation above one and model
+// the bursty interarrival processes of production supercomputer traces
+// (scripted bulk submissions interleaved with quiet periods) much better
+// than a plain Poisson process.
+type HyperExp2 struct {
+	P      float64 // probability of phase 1
+	M1, M2 float64 // phase means
+}
+
+// Sample draws a hyper-exponential variate.
+func (h HyperExp2) Sample(r *rng.Stream) float64 {
+	if r.Float64() < h.P {
+		return h.M1 * r.ExpFloat64()
+	}
+	return h.M2 * r.ExpFloat64()
+}
+
+// Mean returns the distribution mean.
+func (h HyperExp2) Mean() float64 { return h.P*h.M1 + (1-h.P)*h.M2 }
+
+// NewBurstyIAT builds a hyper-exponential interarrival distribution with
+// the given overall mean and burstiness. burst in (0,1) is the fraction of
+// the mean carried by the rare long phase; larger values give burstier
+// arrivals. Phase 1 fires 90% of the time with short gaps, phase 2 models
+// the long quiet periods.
+func NewBurstyIAT(mean, burst float64) HyperExp2 {
+	if burst <= 0 || burst >= 1 {
+		panic(fmt.Sprintf("stats: burst fraction %v out of (0,1)", burst))
+	}
+	const p = 0.9
+	return HyperExp2{
+		P:  p,
+		M1: mean * (1 - burst) / p,
+		M2: mean * burst / (1 - p),
+	}
+}
+
+// LogNormal is a log-normal distribution parameterised by the mean Mu and
+// standard deviation Sigma of the underlying normal.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// Sample draws a log-normal variate.
+func (l LogNormal) Sample(r *rng.Stream) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// FromNormal maps a standard normal deviate to the log-normal, enabling
+// correlated sampling: feeding correlated normals into two log-normals
+// yields correlated variates with unchanged marginals.
+func (l LogNormal) FromNormal(z float64) float64 {
+	return math.Exp(l.Mu + l.Sigma*z)
+}
+
+// Mean returns the analytic mean exp(mu + sigma^2/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Clamped wraps a distribution and clamps every sample into [Lo, Hi].
+// Clamping (rather than rejection) keeps the probability mass of extreme
+// draws at the bounds, mirroring how traces pile up at administrative
+// runtime limits (e.g. the 18 h cap visible in the CTC trace).
+type Clamped struct {
+	D      Dist
+	Lo, Hi float64
+}
+
+// Sample draws a clamped variate.
+func (c Clamped) Sample(r *rng.Stream) float64 {
+	return math.Min(c.Hi, math.Max(c.Lo, c.D.Sample(r)))
+}
+
+// Mean returns the analytic mean of the clamped distribution when the
+// inner distribution is a LogNormal, and falls back to the inner mean
+// otherwise.
+func (c Clamped) Mean() float64 {
+	if ln, ok := c.D.(LogNormal); ok {
+		return clampedLogNormalMean(ln.Mu, ln.Sigma, c.Lo, c.Hi)
+	}
+	return c.D.Mean()
+}
+
+// StdNormCDF is the standard normal cumulative distribution function.
+func StdNormCDF(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+
+// clampedLogNormalMean computes E[min(hi, max(lo, X))] for X ~ LogN(mu,
+// sigma) analytically:
+//
+//	lo*P(X<lo) + hi*P(X>hi) + E[X; lo<=X<=hi]
+//
+// with E[X; a<=X<=b] = exp(mu+sigma^2/2) * (Phi((ln b-mu-sigma^2)/sigma) -
+// Phi((ln a-mu-sigma^2)/sigma)).
+func clampedLogNormalMean(mu, sigma, lo, hi float64) float64 {
+	if lo >= hi {
+		return lo
+	}
+	if sigma <= 0 {
+		return math.Min(hi, math.Max(lo, math.Exp(mu)))
+	}
+	la := math.Log(math.Max(lo, math.SmallestNonzeroFloat64))
+	lb := math.Log(hi)
+	pBelow := StdNormCDF((la - mu) / sigma)
+	pAbove := 1 - StdNormCDF((lb-mu)/sigma)
+	mid := math.Exp(mu+sigma*sigma/2) *
+		(StdNormCDF((lb-mu-sigma*sigma)/sigma) - StdNormCDF((la-mu-sigma*sigma)/sigma))
+	return lo*pBelow + hi*pAbove + mid
+}
+
+// FitClampedLogNormal returns a Clamped LogNormal over [lo, hi] whose
+// analytic mean matches target. sigma controls the spread of the underlying
+// normal and is kept fixed while mu is solved by bisection. It returns an
+// error when the target mean is not attainable within the bounds.
+func FitClampedLogNormal(target, sigma, lo, hi float64) (Clamped, error) {
+	if !(lo < hi) {
+		return Clamped{}, fmt.Errorf("stats: invalid clamp bounds [%v, %v]", lo, hi)
+	}
+	if target <= lo || target >= hi {
+		return Clamped{}, fmt.Errorf("stats: target mean %v outside clamp bounds (%v, %v)", target, lo, hi)
+	}
+	if sigma <= 0 {
+		return Clamped{}, fmt.Errorf("stats: sigma %v must be positive", sigma)
+	}
+	// The clamped mean is continuous and strictly increasing in mu, with
+	// limits lo (mu -> -inf) and hi (mu -> +inf), so bisection converges.
+	muLo := math.Log(math.Max(lo, 1e-12)) - 10*sigma
+	muHi := math.Log(hi) + 10*sigma
+	for i := 0; i < 200; i++ {
+		mid := (muLo + muHi) / 2
+		if clampedLogNormalMean(mid, sigma, lo, hi) < target {
+			muLo = mid
+		} else {
+			muHi = mid
+		}
+	}
+	mu := (muLo + muHi) / 2
+	c := Clamped{D: LogNormal{Mu: mu, Sigma: sigma}, Lo: lo, Hi: hi}
+	if got := c.Mean(); math.Abs(got-target) > 1e-6*math.Max(1, target) {
+		return Clamped{}, fmt.Errorf("stats: fit did not converge: want mean %v, got %v", target, got)
+	}
+	return c, nil
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dynp/internal/rng"
+)
+
+func sampleMean(d Dist, n int, seed uint64) float64 {
+	r := rng.New(seed)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+	}
+	return sum / float64(n)
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{M: 42}
+	if got := sampleMean(d, 200000, 1); math.Abs(got-42)/42 > 0.02 {
+		t.Fatalf("sample mean %v deviates from 42", got)
+	}
+	if d.Mean() != 42 {
+		t.Fatalf("analytic mean %v != 42", d.Mean())
+	}
+}
+
+func TestHyperExp2Mean(t *testing.T) {
+	d := HyperExp2{P: 0.9, M1: 10, M2: 500}
+	want := d.Mean()
+	if math.Abs(want-(0.9*10+0.1*500)) > 1e-12 {
+		t.Fatalf("analytic mean %v wrong", want)
+	}
+	if got := sampleMean(d, 400000, 2); math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("sample mean %v deviates from %v", got, want)
+	}
+}
+
+func TestNewBurstyIATMeanPreserved(t *testing.T) {
+	for _, mean := range []float64{100, 369, 1031} {
+		d := NewBurstyIAT(mean, 0.4)
+		if math.Abs(d.Mean()-mean)/mean > 1e-12 {
+			t.Fatalf("bursty IAT mean %v != requested %v", d.Mean(), mean)
+		}
+	}
+}
+
+func TestNewBurstyIATIsBursty(t *testing.T) {
+	// The coefficient of variation must exceed 1 (burstier than Poisson).
+	d := NewBurstyIAT(100, 0.4)
+	r := rng.New(3)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	cv := math.Sqrt(sumSq/n-mean*mean) / mean
+	if cv <= 1.1 {
+		t.Fatalf("coefficient of variation %v not bursty", cv)
+	}
+}
+
+func TestNewBurstyIATPanicsOnBadBurst(t *testing.T) {
+	for _, b := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("burst %v did not panic", b)
+				}
+			}()
+			NewBurstyIAT(100, b)
+		}()
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	d := LogNormal{Mu: 2, Sigma: 0.5}
+	want := math.Exp(2 + 0.125)
+	if math.Abs(d.Mean()-want) > 1e-12 {
+		t.Fatalf("analytic mean %v != %v", d.Mean(), want)
+	}
+	if got := sampleMean(d, 300000, 4); math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("sample mean %v deviates from %v", got, want)
+	}
+}
+
+func TestClampedBounds(t *testing.T) {
+	c := Clamped{D: LogNormal{Mu: 5, Sigma: 3}, Lo: 10, Hi: 100}
+	r := rng.New(5)
+	for i := 0; i < 10000; i++ {
+		x := c.Sample(r)
+		if x < 10 || x > 100 {
+			t.Fatalf("clamped sample %v out of [10,100]", x)
+		}
+	}
+}
+
+func TestClampedLogNormalMeanAnalytic(t *testing.T) {
+	// Monte Carlo cross-check of the closed-form clamped mean.
+	cases := []Clamped{
+		{D: LogNormal{Mu: 8, Sigma: 1.9}, Lo: 1, Hi: 64800},
+		{D: LogNormal{Mu: 6, Sigma: 2.1}, Lo: 60, Hi: 216000},
+		{D: LogNormal{Mu: 2, Sigma: 1.0}, Lo: 1, Hi: 50},
+	}
+	for _, c := range cases {
+		want := c.Mean()
+		got := sampleMean(c, 400000, 6)
+		if math.Abs(got-want)/want > 0.03 {
+			t.Fatalf("clamped lognormal mu=%v: analytic %v vs sampled %v",
+				c.D.(LogNormal).Mu, want, got)
+		}
+	}
+}
+
+func TestFitClampedLogNormal(t *testing.T) {
+	cases := []struct {
+		target, sigma, lo, hi float64
+	}{
+		{10958, 1.9, 1, 64800},  // CTC actual runtime
+		{8858, 2.1, 1, 216000},  // KTH actual runtime
+		{1659, 1.8, 1, 25200},   // LANL actual runtime
+		{6077, 2.0, 1, 172800},  // SDSC actual runtime
+		{10.72, 1.3, 1, 336},    // CTC width
+		{7.66, 1.2, 1, 100},     // KTH width
+		{0.5, 1.0, 0.001, 1000}, // sub-unity target
+	}
+	for _, c := range cases {
+		d, err := FitClampedLogNormal(c.target, c.sigma, c.lo, c.hi)
+		if err != nil {
+			t.Fatalf("fit(%v): %v", c.target, err)
+		}
+		if got := d.Mean(); math.Abs(got-c.target)/c.target > 1e-6 {
+			t.Fatalf("fit(%v): analytic mean %v", c.target, got)
+		}
+		if got := sampleMean(d, 400000, 7); math.Abs(got-c.target)/c.target > 0.05 {
+			t.Fatalf("fit(%v): sampled mean %v", c.target, got)
+		}
+	}
+}
+
+func TestFitClampedLogNormalErrors(t *testing.T) {
+	if _, err := FitClampedLogNormal(5, 1, 10, 100); err == nil {
+		t.Error("target below lower bound did not fail")
+	}
+	if _, err := FitClampedLogNormal(200, 1, 10, 100); err == nil {
+		t.Error("target above upper bound did not fail")
+	}
+	if _, err := FitClampedLogNormal(50, -1, 10, 100); err == nil {
+		t.Error("negative sigma did not fail")
+	}
+	if _, err := FitClampedLogNormal(50, 1, 100, 10); err == nil {
+		t.Error("inverted bounds did not fail")
+	}
+}

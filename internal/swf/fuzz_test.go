@@ -1,0 +1,46 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the SWF parser with arbitrary input: it must never
+// panic, and whenever it accepts an input, the resulting job set must
+// satisfy all job invariants (Read validates internally — a nil error
+// implies a valid set). Runs as a regular test over the seed corpus; use
+// `go test -fuzz=FuzzRead ./internal/swf` to explore further.
+func FuzzRead(f *testing.F) {
+	f.Add(sample)
+	f.Add("")
+	f.Add("; MaxProcs: 64\n")
+	f.Add("1 0 5 100 4 -1 -1 4 200 -1 1 1 1 -1 1 -1 -1 -1\n")
+	f.Add("1 0 5 100 4 -1 -1 4 200 -1 1 1 1 -1 1 -1 -1\n") // 17 fields
+	f.Add("x y z\n")
+	f.Add("1 -5 0 10 1 -1 -1 1 10 -1 1 1 1 -1 1 -1 -1 -1\n") // negative submit
+	f.Add("9999999999999999999 0 0 10 1 -1 -1 1 10 -1 1 1 1 -1 1 -1 -1 -1\n")
+	f.Add("1 0 0 1e3 4 -1 -1 4 1e4 -1 1 1 1 -1 1 -1 -1 -1\n") // float fields
+	f.Fuzz(func(t *testing.T, input string) {
+		set, err := Read(strings.NewReader(input), ReadOptions{MaxJobs: 1000})
+		if err != nil {
+			return
+		}
+		if verr := set.Validate(); verr != nil {
+			t.Fatalf("accepted set fails validation: %v", verr)
+		}
+		// Accepted sets must round-trip: write and re-read losslessly.
+		var buf bytes.Buffer
+		if err := Write(&buf, set); err != nil {
+			t.Fatalf("cannot write accepted set: %v", err)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()),
+			ReadOptions{Machine: set.Machine, MaxJobs: 1000})
+		if err != nil {
+			t.Fatalf("cannot re-read written set: %v", err)
+		}
+		if len(back.Jobs) != len(set.Jobs) {
+			t.Fatalf("round trip changed job count: %d -> %d", len(set.Jobs), len(back.Jobs))
+		}
+	})
+}

@@ -1,0 +1,219 @@
+// Package table renders aligned text tables, CSV, and simple data series —
+// the output formats of the paper-reproduction binaries. It has no
+// knowledge of the experiments; it only formats.
+package table
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells; each argument is rendered with
+// %v except float64, which uses two decimals.
+func (t *Table) AddRowf(cells ...any) {
+	ss := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			ss[i] = fmt.Sprintf("%.2f", v)
+		default:
+			ss[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(ss...)
+}
+
+// AddSeparator appends a horizontal rule row.
+func (t *Table) AddSeparator() {
+	t.rows = append(t.rows, nil)
+}
+
+// Len reports the number of data rows (separators included).
+func (t *Table) Len() int { return len(t.rows) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		if row == nil {
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteString("\n")
+			continue
+		}
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (separators are skipped). Cells
+// containing commas or quotes are quoted per RFC 4180.
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one named curve of a figure: x values (e.g. shrinking factors)
+// against y values (e.g. SLDwA).
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Figure is a set of series sharing axes, the textual stand-in for the
+// paper's plots.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render writes the figure as a column block per series, a format gnuplot
+// and spreadsheet tools ingest directly.
+func (f *Figure) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", f.Title)
+	fmt.Fprintf(&b, "# x: %s, y: %s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "\n# series: %s\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, "%g\t%g\n", s.X[i], s.Y[i])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ASCII renders the figure as a crude terminal plot (y downsampled onto a
+// fixed grid), enough to eyeball the crossovers the paper discusses.
+func (f *Figure) ASCII(w io.Writer, width, height int) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("table: plot area %dx%d too small", width, height)
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range f.Series {
+		for i := range s.X {
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = min(xmin, s.X[i])
+			xmax = max(xmax, s.X[i])
+			ymin = min(ymin, s.Y[i])
+			ymax = max(ymax, s.Y[i])
+		}
+	}
+	if first {
+		return fmt.Errorf("table: empty figure")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "ox+*#@%&"
+	for si, s := range f.Series {
+		m := marks[si%len(marks)]
+		for i := range s.X {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+			grid[height-1-cy][cx] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (y: %.3g..%.3g, x: %g..%g)\n", f.Title, ymin, ymax, xmin, xmax)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,152 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("Title", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer", "22")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header line = %q", lines[1])
+	}
+	// All data lines must align the second column.
+	col := strings.Index(lines[3], "1")
+	if strings.Index(lines[4], "22") != col {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestAddRowfFormatsFloats(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRowf(1.23456, 7)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "1.23") || strings.Contains(b.String(), "1.2345") {
+		t.Fatalf("float formatting wrong:\n%s", b.String())
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("only")            // missing cell
+	tb.AddRow("x", "y", "extra") // extra cell dropped
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "extra") {
+		t.Fatal("extra cell rendered")
+	}
+}
+
+func TestSeparator(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("1")
+	tb.AddSeparator()
+	tb.AddRow("2")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Header rule plus one separator.
+	rules := 0
+	for _, line := range strings.Split(b.String(), "\n") {
+		if line != "" && strings.Trim(line, "-") == "" {
+			rules++
+		}
+	}
+	if rules != 2 {
+		t.Fatalf("expected 2 rules, got %d in:\n%s", rules, b.String())
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("ignored", "name", "note")
+	tb.AddRow("a", `has "quotes", and commas`)
+	tb.AddSeparator()
+	tb.AddRow("b", "plain")
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\na,\"has \"\"quotes\"\", and commas\"\nb,plain\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{
+		Title: "fig", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s1", X: []float64{1, 0.9}, Y: []float64{2.5, 3}}},
+	}
+	var b strings.Builder
+	if err := f.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"# fig", "# series: s1", "1\t2.5", "0.9\t3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureASCII(t *testing.T) {
+	f := &Figure{
+		Title: "fig",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+		},
+	}
+	var b strings.Builder
+	if err := f.ASCII(&b, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o = a") || !strings.Contains(out, "x = b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestFigureASCIIErrors(t *testing.T) {
+	f := &Figure{Title: "empty"}
+	var b strings.Builder
+	if err := f.ASCII(&b, 40, 10); err == nil {
+		t.Error("empty figure accepted")
+	}
+	f2 := &Figure{Series: []Series{{X: []float64{1}, Y: []float64{1}}}}
+	if err := f2.ASCII(&b, 2, 2); err == nil {
+		t.Error("tiny plot area accepted")
+	}
+}
+
+func TestFigureASCIIDegenerateRanges(t *testing.T) {
+	// A single point must not divide by zero.
+	f := &Figure{Series: []Series{{Name: "p", X: []float64{1}, Y: []float64{5}}}}
+	var b strings.Builder
+	if err := f.ASCII(&b, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+}

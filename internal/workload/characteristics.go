@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"dynp/internal/job"
+	"dynp/internal/stats"
+)
+
+// Characteristics summarises a job set with the statistics of the paper's
+// Table 2, so generated (or imported SWF) workloads can be compared against
+// the published trace properties.
+type Characteristics struct {
+	Name    string
+	Jobs    int
+	Machine int
+
+	Width   stats.Summary
+	Est     stats.Summary // estimated run times, seconds
+	Act     stats.Summary // actual run times, seconds
+	IAT     stats.Summary // interarrival times, seconds
+	Area    stats.Summary // actual areas (runtime x width), processor-seconds
+	Overest float64       // mean estimated / mean actual run time
+}
+
+// OfferedLoad returns mean job area / (machine size x mean interarrival
+// time) — the long-run utilization an infinitely patient scheduler could
+// reach on this workload.
+func (c Characteristics) OfferedLoad() float64 {
+	den := float64(c.Machine) * c.IAT.Mean
+	if den == 0 {
+		return 0
+	}
+	return c.Area.Mean / den
+}
+
+// Characterize computes the Table 2 statistics of a job set.
+func Characterize(s *job.Set) Characteristics {
+	n := len(s.Jobs)
+	widths := make([]float64, n)
+	ests := make([]float64, n)
+	acts := make([]float64, n)
+	areas := make([]float64, n)
+	var iats []float64
+	for i, j := range s.Jobs {
+		widths[i] = float64(j.Width)
+		ests[i] = float64(j.Estimate)
+		acts[i] = float64(j.Runtime)
+		areas[i] = float64(j.Area())
+		if i > 0 {
+			iats = append(iats, float64(j.Submit-s.Jobs[i-1].Submit))
+		}
+	}
+	c := Characteristics{
+		Name:    s.Name,
+		Jobs:    n,
+		Machine: s.Machine,
+		Width:   stats.Summarize(widths),
+		Est:     stats.Summarize(ests),
+		Act:     stats.Summarize(acts),
+		IAT:     stats.Summarize(iats),
+		Area:    stats.Summarize(areas),
+	}
+	if c.Act.Mean > 0 {
+		c.Overest = c.Est.Mean / c.Act.Mean
+	}
+	return c
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+
+	"dynp/internal/job"
+)
+
+// Transforms applied to job sets for sensitivity studies. Each returns a
+// deep copy; the input set is never modified.
+
+// PerfectEstimates returns a copy of the set in which every estimate
+// equals the actual run time. SJF/LJF then order by true length and the
+// planner's reservations are exact — the upper bound on what better user
+// estimates could buy (a classic sensitivity study for backfilling
+// schedulers, and the natural companion to the paper's overestimation
+// factors).
+func PerfectEstimates(s *job.Set) *job.Set {
+	out := &job.Set{Name: s.Name + "/perfect-estimates", Machine: s.Machine,
+		Jobs: make([]*job.Job, len(s.Jobs))}
+	for i, j := range s.Jobs {
+		c := *j
+		c.Estimate = c.Runtime
+		out.Jobs[i] = &c
+	}
+	return out
+}
+
+// ScaleEstimates returns a copy with every estimate multiplied by factor
+// (clamped below at the actual run time), interpolating between trace
+// estimates (factor 1) and arbitrarily worse ones.
+func ScaleEstimates(s *job.Set, factor float64) (*job.Set, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("workload: estimate scale factor %v must be positive", factor)
+	}
+	out := &job.Set{Name: fmt.Sprintf("%s/est-x%.2f", s.Name, factor),
+		Machine: s.Machine, Jobs: make([]*job.Job, len(s.Jobs))}
+	for i, j := range s.Jobs {
+		c := *j
+		c.Estimate = int64(float64(j.Estimate)*factor + 0.5)
+		if c.Estimate < c.Runtime {
+			c.Estimate = c.Runtime
+		}
+		out.Jobs[i] = &c
+	}
+	return out, nil
+}
+
+// Concatenate appends the jobs of b after those of a, shifting b's
+// submission times so that b starts gap seconds after a's last
+// submission. Machine sizes must match. It builds workloads with abrupt
+// phase changes — the situation dynamic policy switching is made for.
+func Concatenate(a, b *job.Set, gap int64) (*job.Set, error) {
+	if a.Machine != b.Machine {
+		return nil, fmt.Errorf("workload: cannot concatenate machines of %d and %d processors",
+			a.Machine, b.Machine)
+	}
+	if gap < 0 {
+		return nil, fmt.Errorf("workload: negative gap %d", gap)
+	}
+	_, last := a.Span()
+	offset := last + gap
+	out := &job.Set{Name: a.Name + "+" + b.Name, Machine: a.Machine,
+		Jobs: make([]*job.Job, 0, len(a.Jobs)+len(b.Jobs))}
+	id := job.ID(0)
+	for _, j := range a.Jobs {
+		c := *j
+		id++
+		c.ID = id
+		out.Jobs = append(out.Jobs, &c)
+	}
+	for _, j := range b.Jobs {
+		c := *j
+		id++
+		c.ID = id
+		c.Submit += offset
+		out.Jobs = append(out.Jobs, &c)
+	}
+	return out, nil
+}

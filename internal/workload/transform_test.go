@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"testing"
+
+	"dynp/internal/rng"
+)
+
+func TestPerfectEstimates(t *testing.T) {
+	set, err := CTC.Generate(500, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect := PerfectEstimates(set)
+	if err := perfect.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range perfect.Jobs {
+		if j.Estimate != j.Runtime {
+			t.Fatalf("job %d: estimate %d != runtime %d", i, j.Estimate, j.Runtime)
+		}
+		if j.Runtime != set.Jobs[i].Runtime || j.Submit != set.Jobs[i].Submit {
+			t.Fatalf("job %d: runtime/submit changed", i)
+		}
+	}
+	// Deep copy: the original keeps its overestimated values.
+	overestimated := false
+	for _, j := range set.Jobs {
+		if j.Estimate > j.Runtime {
+			overestimated = true
+		}
+	}
+	if !overestimated {
+		t.Fatal("original set mutated (no overestimation left)")
+	}
+}
+
+func TestScaleEstimates(t *testing.T) {
+	set, err := KTH.Generate(300, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled, err := ScaleEstimates(set, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doubled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range doubled.Jobs {
+		want := int64(float64(set.Jobs[i].Estimate)*2 + 0.5)
+		if want < j.Runtime {
+			want = j.Runtime
+		}
+		if j.Estimate != want {
+			t.Fatalf("job %d: estimate %d, want %d", i, j.Estimate, want)
+		}
+	}
+	// Shrinking estimates clamps at the runtime so the invariant holds.
+	tenth, err := ScaleEstimates(set, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tenth.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScaleEstimates(set, 0); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+}
+
+func TestConcatenate(t *testing.T) {
+	a, err := KTH.Generate(100, rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KTH.Generate(100, rng.New(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Concatenate(a, b, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := both.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(both.Jobs) != 200 {
+		t.Fatalf("jobs = %d", len(both.Jobs))
+	}
+	_, lastA := a.Span()
+	if got := both.Jobs[100].Submit; got != lastA+3600+b.Jobs[0].Submit {
+		t.Fatalf("phase 2 starts at %d", got)
+	}
+}
+
+func TestConcatenateErrors(t *testing.T) {
+	a, _ := KTH.Generate(10, rng.New(35))
+	c, _ := CTC.Generate(10, rng.New(36))
+	if _, err := Concatenate(a, c, 0); err == nil {
+		t.Error("mismatched machines accepted")
+	}
+	b, _ := KTH.Generate(10, rng.New(37))
+	if _, err := Concatenate(a, b, -1); err == nil {
+		t.Error("negative gap accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package dynp
+
+import (
+	"io"
+
+	"dynp/internal/gantt"
+	"dynp/internal/rms"
+)
+
+// Online RMS re-exports: the dynP scheduler embedded in a live,
+// clock-driven resource manager (see internal/rms), plus schedule
+// visualisation (internal/gantt).
+type (
+	// OnlineScheduler is a planning-based RMS core driven by an
+	// explicit clock: Submit/Complete/Cancel/Advance.
+	OnlineScheduler = rms.Scheduler
+	// OnlineJobInfo is the externally visible status of one online job.
+	OnlineJobInfo = rms.JobInfo
+	// OnlineStatus is a snapshot of the online system.
+	OnlineStatus = rms.Status
+	// OnlineServer exposes an OnlineScheduler over newline-delimited
+	// JSON (see cmd/dynpd).
+	OnlineServer = rms.Server
+	// JobState is the online job lifecycle state.
+	JobState = rms.JobState
+	// OnlineSubmission is one job of an atomic Deliver batch.
+	OnlineSubmission = rms.Submission
+	// OnlineReport is the online scheduler's self-assessment (SLDwA,
+	// utilization, ...) over finished jobs.
+	OnlineReport = rms.Report
+	// GanttChart is a processor-time occupancy chart of a completed
+	// run.
+	GanttChart = gantt.Chart
+)
+
+// The online job lifecycle states.
+const (
+	StateWaiting   = rms.StateWaiting
+	StateRunning   = rms.StateRunning
+	StateCompleted = rms.StateCompleted
+	StateKilled    = rms.StateKilled
+)
+
+// NewOnlineScheduler returns an online RMS core for a machine with the
+// given capacity using the given scheduler, with the clock at startTime.
+func NewOnlineScheduler(capacity int, s Scheduler, startTime int64) (*OnlineScheduler, error) {
+	return rms.New(capacity, s, startTime)
+}
+
+// NewOnlineServer wraps an online scheduler in the JSON protocol server.
+// allowTick enables client-driven virtual clocks.
+func NewOnlineServer(s *OnlineScheduler, allowTick bool) *OnlineServer {
+	return rms.NewServer(s, allowTick)
+}
+
+// NewGanttChart reconstructs a processor assignment from a completed
+// simulation for rendering with ASCII or SVG.
+func NewGanttChart(res *Result) (*GanttChart, error) { return gantt.FromResult(res) }
+
+// WriteScheduleSVG renders a completed run as an SVG occupancy chart in
+// one call.
+func WriteScheduleSVG(w io.Writer, res *Result, width, height int) error {
+	c, err := gantt.FromResult(res)
+	if err != nil {
+		return err
+	}
+	return c.SVG(w, width, height)
+}

@@ -1,11 +1,15 @@
 # Development targets for the dynp reproduction. Everything is plain Go;
-# the Makefile only bundles the common invocations.
+# the Makefile only bundles the common invocations. `make ci` mirrors the
+# GitHub Actions pipeline (.github/workflows/ci.yml) locally.
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz repro repro-full ablations clean
+.PHONY: all ci build vet fmt-check test race bench bench-smoke bench-tuner fuzz repro repro-full ablations clean
 
 all: build vet test
+
+# Everything the CI workflow gates merges on, minus the smoke jobs.
+ci: build vet fmt-check test race
 
 build:
 	$(GO) build ./...
@@ -13,15 +17,34 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fails when any file is not gofmt-clean (mirrored by the CI build job).
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt -l found unformatted files:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent pieces (experiment worker pool, RMS server).
+# Race-check the concurrent pieces (experiment worker pool, parallel
+# what-if planning in the tuner, RMS server).
 race:
-	$(GO) test -race ./internal/experiment/ ./internal/rms/ .
+	$(GO) test -race ./internal/experiment/ ./internal/rms/ ./internal/core/ .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One-iteration pass over the self-tuning benchmarks; CI uploads the
+# output as an artifact for trajectory tracking.
+bench-smoke:
+	$(GO) test -bench=SelfTuner -benchtime=1x ./... | tee bench-smoke.txt
+
+# Refresh the committed planning-cost snapshot.
+bench-tuner:
+	$(GO) run ./cmd/benchtuner -out BENCH_tuner.json
 
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/swf/

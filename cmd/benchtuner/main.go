@@ -1,0 +1,140 @@
+// Command benchtuner measures the cost of one self-tuning dynP step —
+// building and scoring one what-if schedule per candidate policy — across
+// waiting-queue depths, candidate-set sizes and worker counts, and writes
+// the measurements as a JSON snapshot (BENCH_tuner.json) so CI can track
+// the planning-cost trajectory over time.
+//
+//	benchtuner -out BENCH_tuner.json
+//	benchtuner -out - -steps 500
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dynp/internal/core"
+	"dynp/internal/job"
+	"dynp/internal/plan"
+	"dynp/internal/policy"
+	"dynp/internal/rng"
+)
+
+// measurement is one (queue depth, candidate count, workers) cell.
+type measurement struct {
+	Queue      int     `json:"queue"`
+	Candidates int     `json:"candidates"`
+	Workers    int     `json:"workers"`
+	NsPerStep  int64   `json:"ns_per_step"`
+	Speedup    float64 `json:"speedup_vs_sequential"`
+}
+
+type snapshot struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Steps      int           `json:"steps_per_measurement"`
+	Capacity   int           `json:"capacity"`
+	Running    int           `json:"running_jobs"`
+	Results    []measurement `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_tuner.json", "output file ('-' for stdout)")
+	steps := flag.Int("steps", 200, "self-tuning steps per measurement")
+	flag.Parse()
+
+	const capacity = 128
+	const nRunning = 32
+
+	r := rng.New(2004)
+	running := make([]plan.Running, nRunning)
+	for i := range running {
+		running[i] = plan.Running{
+			Job: &job.Job{
+				ID: job.ID(i + 1), Submit: 0,
+				Width: 1 + r.Intn(4), Estimate: int64(1000 + r.Intn(20000)),
+			},
+			Start: 0,
+		}
+	}
+
+	candidateSets := []struct {
+		n   int
+		set []policy.Policy
+	}{
+		{len(policy.Candidates), policy.Candidates},
+		{len(policy.All), policy.All},
+	}
+
+	snap := snapshot{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Steps:      *steps,
+		Capacity:   capacity,
+		Running:    nRunning,
+	}
+	for _, queued := range []int{64, 256, 1024} {
+		waiting := make([]*job.Job, queued)
+		for i := range waiting {
+			est := int64(1 + r.Intn(20000))
+			waiting[i] = &job.Job{
+				ID: job.ID(nRunning + i + 1), Submit: int64(r.Intn(1000)),
+				Width: 1 + r.Intn(capacity), Estimate: est, Runtime: est,
+			}
+		}
+		for _, cs := range candidateSets {
+			var sequential int64
+			for _, workers := range []int{1, 2, 4} {
+				ns := stepCost(cs.set, workers, running, waiting, *steps)
+				if workers == 1 {
+					sequential = ns
+				}
+				m := measurement{
+					Queue: queued, Candidates: cs.n, Workers: workers,
+					NsPerStep: ns,
+				}
+				if ns > 0 {
+					m.Speedup = round2(float64(sequential) / float64(ns))
+				}
+				snap.Results = append(snap.Results, m)
+				fmt.Fprintf(os.Stderr, "queue %4d  candidates %d  workers %d  %12d ns/step  %.2fx\n",
+					queued, cs.n, workers, ns, m.Speedup)
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	fail(err)
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+	} else {
+		err = os.WriteFile(*out, enc, 0o644)
+	}
+	fail(err)
+}
+
+// stepCost times steps self-tuning Plan calls and returns ns per step.
+func stepCost(candidates []policy.Policy, workers int, running []plan.Running, waiting []*job.Job, steps int) int64 {
+	const capacity = 128
+	st := core.NewSelfTuner(candidates, core.Advanced{}, core.MetricSLDwA)
+	st.SetWorkers(workers)
+	for i := 0; i < 5; i++ { // warm-up
+		st.Plan(1000, capacity, running, waiting)
+	}
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		st.Plan(1000, capacity, running, waiting)
+	}
+	return time.Since(start).Nanoseconds() / int64(steps)
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtuner:", err)
+		os.Exit(1)
+	}
+}

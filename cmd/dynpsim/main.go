@@ -30,7 +30,9 @@ func main() {
 		shrink    = flag.Float64("shrink", 1.0, "shrinking factor for submission times")
 		scheduler = flag.String("scheduler", "dynP/SJF-preferred",
 			"scheduler: FCFS, SJF, LJF, dynP/simple, dynP/advanced, dynP/<POLICY>-preferred")
-		seed      = flag.Uint64("seed", 1, "random seed for workload generation")
+		seed    = flag.Uint64("seed", 1, "random seed for workload generation")
+		workers = flag.Int("workers", 0,
+			"what-if planning workers for dynP schedulers (0 = all cores, 1 = sequential)")
 		decisions = flag.Int("decisions", 0, "print the first N self-tuning decisions")
 		cases     = flag.Bool("cases", false, "print the Table 1 case histogram of all decisions")
 		timelines = flag.Bool("timeline", false, "print queue-length and active-policy strips")
@@ -47,8 +49,11 @@ func main() {
 	spec, err := dynp.ParseSchedulerSpec(*scheduler)
 	fail(err)
 	driver := spec.New()
-	if d, ok := driver.(*sim.DynP); ok && (*decisions > 0 || *cases || *timelines) {
-		d.Tuner.EnableTrace()
+	if d, ok := driver.(*sim.DynP); ok {
+		d.SetWorkers(*workers)
+		if *decisions > 0 || *cases || *timelines {
+			d.Tuner.EnableTrace()
+		}
 	}
 
 	var opts []sim.Option

@@ -44,9 +44,11 @@ func main() {
 		seed     = flag.Uint64("seed", 2004, "base random seed")
 		full     = flag.Bool("full", false, "paper-scale configuration (10 sets x 10000 jobs)")
 		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
-		ascii    = flag.Bool("ascii", false, "render figures as terminal plots instead of data series")
-		csv      = flag.Bool("csv", false, "render tables as CSV")
-		quiet    = flag.Bool("q", false, "suppress progress output")
+		tunerW   = flag.Int("tuner-workers", 0,
+			"what-if planning workers inside each dynP tuner (0/1 = sequential; simulations already run in parallel)")
+		ascii = flag.Bool("ascii", false, "render figures as terminal plots instead of data series")
+		csv   = flag.Bool("csv", false, "render tables as CSV")
+		quiet = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -79,12 +81,13 @@ func main() {
 
 	baseCfg := func(schedulers []dynp.SchedulerSpec, label string) dynp.ExperimentConfig {
 		cfg := dynp.ExperimentConfig{
-			Shrinks:    shrinkVals,
-			Sets:       *sets,
-			JobsPerSet: *jobs,
-			Seed:       *seed,
-			Schedulers: schedulers,
-			Workers:    *workers,
+			Shrinks:      shrinkVals,
+			Sets:         *sets,
+			JobsPerSet:   *jobs,
+			Seed:         *seed,
+			Schedulers:   schedulers,
+			Workers:      *workers,
+			TunerWorkers: *tunerW,
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "%s: %d traces x %d shrinks x %d schedulers x %d sets x %d jobs\n",

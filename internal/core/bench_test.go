@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"dynp/internal/job"
+	"dynp/internal/plan"
 	"dynp/internal/policy"
 	"dynp/internal/rng"
 )
@@ -18,6 +20,55 @@ func BenchmarkDeciders(b *testing.B) {
 				d.Decide(policy.SJF, policy.Candidates, values)
 			}
 		})
+	}
+}
+
+// BenchmarkSelfTunerPlan measures one full self-tuning step across
+// waiting-queue depths, candidate-set sizes and worker counts. workers=1
+// is the sequential baseline; the CI acceptance target is a >= 1.5x
+// speedup at 4 workers on queues of 256+ jobs. Running jobs are present
+// so the shared base profile carries real reservations.
+func BenchmarkSelfTunerPlan(b *testing.B) {
+	const capacity = 128
+	candidateSets := []struct {
+		name string
+		set  []policy.Policy
+	}{
+		{"cand3", policy.Candidates},
+		{"cand5", policy.All},
+	}
+	for _, queued := range []int{64, 256, 1024} {
+		for _, cs := range candidateSets {
+			for _, workers := range []int{1, 2, 4} {
+				b.Run(fmt.Sprintf("queue%d/%s/workers%d", queued, cs.name, workers), func(b *testing.B) {
+					r := rng.New(5)
+					running := make([]plan.Running, 32)
+					for i := range running {
+						running[i] = plan.Running{
+							Job: &job.Job{
+								ID: job.ID(i + 1), Submit: 0,
+								Width: 1 + r.Intn(4), Estimate: int64(1000 + r.Intn(20000)),
+							},
+							Start: 0,
+						}
+					}
+					waiting := make([]*job.Job, queued)
+					for i := range waiting {
+						est := int64(1 + r.Intn(20000))
+						waiting[i] = &job.Job{
+							ID: job.ID(100 + i), Submit: int64(r.Intn(1000)),
+							Width: 1 + r.Intn(capacity), Estimate: est, Runtime: est,
+						}
+					}
+					st := NewSelfTuner(cs.set, Advanced{}, MetricSLDwA)
+					st.SetWorkers(workers)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						st.Plan(1000, capacity, running, waiting)
+					}
+				})
+			}
+		}
 	}
 }
 

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"dynp/internal/job"
 	"dynp/internal/plan"
@@ -36,6 +39,7 @@ type SelfTuner struct {
 	stats      Stats
 	trace      []Decision // populated only when Trace is enabled
 	traceOn    bool
+	workers    int // bound on concurrent candidate builds; <= 1 = sequential
 }
 
 // NewSelfTuner returns a self-tuner over the given candidate policies
@@ -55,7 +59,31 @@ func NewSelfTuner(candidates []policy.Policy, d Decider, m Metric) *SelfTuner {
 		metric:     m,
 		active:     cs[0],
 		stats:      Stats{Chosen: make(map[policy.Policy]int)},
+		workers:    1,
 	}
+}
+
+// SetWorkers bounds the number of goroutines Plan uses to build and score
+// the candidate what-if schedules of one self-tuning step. n == 1 (the
+// default) keeps planning on the caller's goroutine; n <= 0 selects
+// runtime.GOMAXPROCS(0). The effective bound never exceeds the candidate
+// count or GOMAXPROCS. Schedules, scores, decisions and statistics are
+// identical for every worker count: each candidate writes into its fixed
+// slot and the decider always sees the values in canonical candidate
+// order, so its tie-breaks are unchanged.
+func (t *SelfTuner) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	t.workers = n
+}
+
+// Workers returns the configured worker bound (see SetWorkers).
+func (t *SelfTuner) Workers() int {
+	if t.workers < 1 {
+		return 1
+	}
+	return t.workers
 }
 
 // SetActive overrides the active policy, e.g. to start an experiment from
@@ -97,14 +125,62 @@ func (t *SelfTuner) Stats() Stats {
 // Plan performs one self-tuning dynP step: build a what-if schedule per
 // candidate policy, score each, decide, and return the schedule of the
 // chosen policy (reused, not rebuilt). The chosen policy becomes active.
+//
+// The running-job availability profile is built once and shared by all
+// candidate builds; with SetWorkers(n > 1) the builds and scoring fan out
+// over a bounded worker pool. Plan panics — before touching any tuner
+// state — when the decider returns a policy outside the candidate set.
 func (t *SelfTuner) Plan(now int64, capacity int, running []plan.Running, waiting []*job.Job) *plan.Schedule {
 	schedules := make([]*plan.Schedule, len(t.candidates))
 	values := make([]float64, len(t.candidates))
-	for i, p := range t.candidates {
-		schedules[i] = plan.Build(now, capacity, running, waiting, p)
-		values[i] = t.metric.Score(schedules[i])
+	base := plan.BuildBase(now, capacity, running)
+
+	workers := t.Workers()
+	if workers > len(t.candidates) {
+		workers = len(t.candidates)
+	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(t.candidates) {
+						return
+					}
+					schedules[i] = plan.BuildFrom(base, waiting, t.candidates[i])
+					values[i] = t.metric.Score(schedules[i])
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, p := range t.candidates {
+			schedules[i] = plan.BuildFrom(base, waiting, p)
+			values[i] = t.metric.Score(schedules[i])
+		}
 	}
 	chosen := t.decider.Decide(t.active, t.candidates, values)
+
+	// Validate the decider's choice before mutating stats, trace or the
+	// active policy, so a buggy custom decider (see examples/customdecider)
+	// cannot leave the tuner with half-updated state.
+	chosenIdx := -1
+	for i, p := range t.candidates {
+		if p == chosen {
+			chosenIdx = i
+			break
+		}
+	}
+	if chosenIdx < 0 {
+		panic(fmt.Sprintf("core: decider %s returned non-candidate %v", t.decider.Name(), chosen))
+	}
 
 	t.stats.Steps++
 	t.stats.Chosen[chosen]++
@@ -118,11 +194,5 @@ func (t *SelfTuner) Plan(now int64, capacity int, running []plan.Running, waitin
 		})
 	}
 	t.active = chosen
-
-	for i, p := range t.candidates {
-		if p == chosen {
-			return schedules[i]
-		}
-	}
-	panic(fmt.Sprintf("core: decider %s returned non-candidate %v", t.decider.Name(), chosen))
+	return schedules[chosenIdx]
 }

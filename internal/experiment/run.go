@@ -23,8 +23,17 @@ type Config struct {
 	JobsPerSet int    // jobs per set (paper: 10,000)
 	Seed       uint64 // base seed; job set k is a pure function of (model, seed, k)
 	Schedulers []SchedulerSpec
-	Workers    int                   // worker pool size; 0 = GOMAXPROCS
-	Progress   func(done, total int) // optional progress callback
+	Workers    int // worker pool size; 0 = GOMAXPROCS
+
+	// TunerWorkers bounds the goroutines each dynP tuner uses for its
+	// candidate what-if builds within one self-tuning step. The default 0
+	// keeps tuner planning sequential — the sweep already parallelises
+	// across whole simulations — while values > 1 help when Workers is
+	// small relative to the core count. Results are identical for every
+	// value.
+	TunerWorkers int
+
+	Progress func(done, total int) // optional progress callback
 }
 
 // Cell is the aggregated outcome of one (shrink, scheduler) combination:
@@ -131,6 +140,9 @@ func Run(cfg Config) (*Result, error) {
 				}
 				tk := tasks[i]
 				driver := cfg.Schedulers[tk.schedIdx].New()
+				if d, ok := driver.(*sim.DynP); ok && cfg.TunerWorkers != 0 {
+					d.SetWorkers(cfg.TunerWorkers)
+				}
 				res, err := sim.Run(shrunk[tk.shrinkIdx][tk.setIdx], driver)
 				if err != nil {
 					failMu.Lock()

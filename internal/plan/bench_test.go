@@ -34,6 +34,54 @@ func BenchmarkBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildBaseReuse contrasts the two ways of building the what-if
+// schedules of one self-tuning step when running jobs occupy the machine:
+// rebuilding the availability profile from scratch per candidate (the old
+// Build path) against building the base once and cloning it per candidate
+// (the BuildBase/BuildFrom path the tuner uses).
+func BenchmarkBuildBaseReuse(b *testing.B) {
+	const capacity = 1024
+	for _, nRunning := range []int{64, 256} {
+		for _, queued := range []int{16, 256} {
+			r := rng.New(9)
+			running := make([]Running, nRunning)
+			for i := range running {
+				running[i] = Running{
+					Job: &job.Job{
+						ID: job.ID(i + 1), Submit: 0,
+						Width: 1 + r.Intn(3), Estimate: int64(1000 + r.Intn(20000)),
+					},
+					Start: 0,
+				}
+			}
+			waiting := make([]*job.Job, queued)
+			for i := range waiting {
+				est := int64(1 + r.Intn(20000))
+				waiting[i] = &job.Job{
+					ID: job.ID(nRunning + i + 1), Submit: int64(r.Intn(1000)),
+					Width: 1 + r.Intn(128), Estimate: est, Runtime: est,
+				}
+			}
+			name := fmt.Sprintf("running%d/queue%d", nRunning, queued)
+			b.Run(name+"/rebuild", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, p := range policy.Candidates {
+						Build(1000, capacity, running, waiting, p)
+					}
+				}
+			})
+			b.Run(name+"/shared-base", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					base := BuildBase(1000, capacity, running)
+					for _, p := range policy.Candidates {
+						BuildFrom(base, waiting, p)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkPlannedSLDwA measures schedule scoring.
 func BenchmarkPlannedSLDwA(b *testing.B) {
 	r := rng.New(8)

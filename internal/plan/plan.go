@@ -47,16 +47,55 @@ type Schedule struct {
 	Entries  []Entry // in placement (policy) order
 }
 
-// Build computes a full schedule for the waiting jobs under policy p.
-// Running jobs block their processors until their estimated end. The
-// waiting slice is not modified.
-func Build(now int64, capacity int, running []Running, waiting []*job.Job, p policy.Policy) *Schedule {
+// Base is the reusable starting state of schedule construction at one
+// scheduling event: the availability profile with every running job's
+// reservation already applied. The self-tuning dynP step builds it once
+// per event and derives each candidate policy's what-if schedule from a
+// clone, instead of re-allocating the running jobs once per candidate.
+// A Base is never mutated after construction, so any number of BuildFrom
+// calls — including concurrent ones — may share it.
+type Base struct {
+	Now      int64
+	Capacity int
+	prof     *profile.Profile
+}
+
+// BuildBase constructs the shared planning state for one scheduling
+// event: running jobs block their processors until their estimated end.
+func BuildBase(now int64, capacity int, running []Running) *Base {
 	prof := profile.New(capacity, now)
 	for _, r := range running {
 		if rem := r.EstimatedEnd() - now; rem > 0 {
 			prof.Alloc(now, r.Job.Width, rem)
 		}
 	}
+	return &Base{Now: now, Capacity: capacity, prof: prof}
+}
+
+// Profile returns a copy of the base availability profile, for tests and
+// debugging output.
+func (b *Base) Profile() *profile.Profile { return b.prof.Clone() }
+
+// BuildFrom computes the schedule for the waiting jobs under policy p,
+// starting from a clone of the base profile. The base is not modified,
+// so sibling candidate builds may run concurrently from the same base.
+// The waiting slice is not modified.
+func BuildFrom(b *Base, waiting []*job.Job, p policy.Policy) *Schedule {
+	return buildOnto(b.prof.Clone(), b.Now, b.Capacity, waiting, p)
+}
+
+// Build computes a full schedule for the waiting jobs under policy p.
+// Running jobs block their processors until their estimated end. The
+// waiting slice is not modified. One-shot equivalent of BuildBase +
+// BuildFrom without the defensive clone.
+func Build(now int64, capacity int, running []Running, waiting []*job.Job, p policy.Policy) *Schedule {
+	b := BuildBase(now, capacity, running)
+	return buildOnto(b.prof, b.Now, b.Capacity, waiting, p)
+}
+
+// buildOnto places the waiting jobs in policy order onto prof, which it
+// consumes (the caller must not reuse it).
+func buildOnto(prof *profile.Profile, now int64, capacity int, waiting []*job.Job, p policy.Policy) *Schedule {
 	s := &Schedule{Now: now, Capacity: capacity, Policy: p,
 		Entries: make([]Entry, 0, len(waiting))}
 	for _, j := range p.Order(waiting) {

@@ -239,3 +239,96 @@ func TestPropertySJFMinimisesPlannedSLDwAOnUnitMachine(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// randomState builds a deterministic mix of running and waiting jobs for
+// the shared-base tests.
+func randomState(seed uint64, capacity, nRunning, queued int) ([]Running, []*job.Job) {
+	r := rng.New(seed)
+	running := make([]Running, nRunning)
+	for i := range running {
+		running[i] = Running{
+			Job: &job.Job{
+				ID: job.ID(i + 1), Submit: 0,
+				Width: 1 + r.Intn(capacity/nRunning), Estimate: int64(100 + r.Intn(5000)),
+			},
+			Start: 0,
+		}
+	}
+	waiting := make([]*job.Job, queued)
+	for i := range waiting {
+		est := int64(1 + r.Intn(20000))
+		waiting[i] = &job.Job{
+			ID: job.ID(nRunning + i + 1), Submit: int64(r.Intn(1000)),
+			Width: 1 + r.Intn(capacity), Estimate: est, Runtime: est,
+		}
+	}
+	return running, waiting
+}
+
+// TestBuildFromMatchesBuild: deriving a schedule from a shared base must
+// be indistinguishable from a from-scratch Build, for every policy.
+func TestBuildFromMatchesBuild(t *testing.T) {
+	const capacity = 64
+	running, waiting := randomState(3, capacity, 8, 50)
+	base := BuildBase(1000, capacity, running)
+	for _, p := range policy.All {
+		want := Build(1000, capacity, running, waiting, p)
+		got := BuildFrom(base, waiting, p)
+		if got.Now != want.Now || got.Capacity != want.Capacity || got.Policy != want.Policy {
+			t.Fatalf("%s: header differs: %+v vs %+v", p, got, want)
+		}
+		if len(got.Entries) != len(want.Entries) {
+			t.Fatalf("%s: %d entries, want %d", p, len(got.Entries), len(want.Entries))
+		}
+		for i := range got.Entries {
+			if got.Entries[i].Job.ID != want.Entries[i].Job.ID ||
+				got.Entries[i].Start != want.Entries[i].Start {
+				t.Fatalf("%s: entry %d = %+v, want %+v", p, i, got.Entries[i], want.Entries[i])
+			}
+		}
+	}
+}
+
+// TestBaseNotMutatedBySiblingBuilds: concurrent candidate builds from one
+// base must never mutate it — each works on its own clone. Run with -race
+// to catch write sharing.
+func TestBaseNotMutatedBySiblingBuilds(t *testing.T) {
+	const capacity = 64
+	running, waiting := randomState(4, capacity, 8, 80)
+	base := BuildBase(1000, capacity, running)
+	beforeTimes, beforeFree := base.Profile().Steps()
+
+	done := make(chan *Schedule, 3*len(policy.All))
+	for round := 0; round < 3; round++ {
+		for _, p := range policy.All {
+			go func(p policy.Policy) { done <- BuildFrom(base, waiting, p) }(p)
+		}
+	}
+	byPolicy := make(map[policy.Policy][]*Schedule)
+	for i := 0; i < cap(done); i++ {
+		s := <-done
+		byPolicy[s.Policy] = append(byPolicy[s.Policy], s)
+	}
+
+	afterTimes, afterFree := base.Profile().Steps()
+	if len(afterTimes) != len(beforeTimes) {
+		t.Fatalf("base profile grew from %d to %d steps", len(beforeTimes), len(afterTimes))
+	}
+	for i := range beforeTimes {
+		if beforeTimes[i] != afterTimes[i] || beforeFree[i] != afterFree[i] {
+			t.Fatalf("base profile step %d changed: (%d,%d) -> (%d,%d)",
+				i, beforeTimes[i], beforeFree[i], afterTimes[i], afterFree[i])
+		}
+	}
+	for p, schedules := range byPolicy {
+		want := Build(1000, capacity, running, waiting, p)
+		for _, got := range schedules {
+			for i := range got.Entries {
+				if got.Entries[i].Job.ID != want.Entries[i].Job.ID ||
+					got.Entries[i].Start != want.Entries[i].Start {
+					t.Fatalf("%s: concurrent build diverged at entry %d", p, i)
+				}
+			}
+		}
+	}
+}

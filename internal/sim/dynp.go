@@ -30,6 +30,15 @@ func NewDynPWith(candidates []policy.Policy, d core.Decider, m core.Metric) *Dyn
 		label: "dynP/" + d.Name() + "/" + m.String()}
 }
 
+// SetWorkers bounds the goroutines used for the candidate what-if builds
+// of every self-tuning step (see core.SelfTuner.SetWorkers): 1 keeps
+// planning sequential, n <= 0 selects all cores. The simulation outcome
+// is identical for every worker count. It returns d for chaining.
+func (d *DynP) SetWorkers(n int) *DynP {
+	d.Tuner.SetWorkers(n)
+	return d
+}
+
 // Name implements Driver.
 func (d *DynP) Name() string { return d.label }
 

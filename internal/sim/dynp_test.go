@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"dynp/internal/core"
+)
+
+// TestDynPSimulationIdenticalAcrossWorkers: a whole simulation — records,
+// makespan, policy usage and tuner statistics — must not depend on the
+// what-if planning worker count.
+func TestDynPSimulationIdenticalAcrossWorkers(t *testing.T) {
+	set := randomSet(21, 400, 32)
+	run := func(workers int) (*Result, core.Stats) {
+		d := NewDynP(core.Advanced{}).SetWorkers(workers)
+		res, err := Run(set, d, WithVerify())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res, d.Stats()
+	}
+	wantRes, wantStats := run(1)
+	for _, workers := range []int{2, 0} { // 0 = all cores
+		res, stats := run(workers)
+		if !reflect.DeepEqual(res.Records, wantRes.Records) {
+			t.Errorf("workers=%d: job records differ from sequential", workers)
+		}
+		if res.Makespan != wantRes.Makespan || res.Events != wantRes.Events {
+			t.Errorf("workers=%d: makespan/events %d/%d, want %d/%d",
+				workers, res.Makespan, res.Events, wantRes.Makespan, wantRes.Events)
+		}
+		if !reflect.DeepEqual(res.PolicyTime, wantRes.PolicyTime) {
+			t.Errorf("workers=%d: policy usage differs from sequential", workers)
+		}
+		if !reflect.DeepEqual(stats, wantStats) {
+			t.Errorf("workers=%d: tuner stats %+v, want %+v", workers, stats, wantStats)
+		}
+	}
+}

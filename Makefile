@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test race bench bench-smoke bench-tuner fuzz repro repro-full ablations clean
+.PHONY: all ci build vet fmt-check test race soak bench bench-smoke bench-tuner fuzz repro repro-full ablations clean
 
 all: build vet test
 
@@ -30,9 +30,15 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrent pieces (experiment worker pool, parallel
-# what-if planning in the tuner, RMS server).
+# what-if planning in the tuner, RMS server, chaos harness).
 race:
-	$(GO) test -race ./internal/experiment/ ./internal/rms/ ./internal/core/ .
+	$(GO) test -race ./internal/experiment/ ./internal/rms/ ./internal/rms/chaos/ ./internal/core/ .
+
+# Deterministic chaos soak: concurrent clients through a fault-injecting
+# network while processors fail and recover, race detector on. The fault
+# schedules are seeded, so a failure here reproduces exactly.
+soak:
+	$(GO) test -race -count=1 -run TestChaosSoak -v ./internal/rms/chaos/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -48,6 +54,7 @@ bench-tuner:
 
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/swf/
+	$(GO) test -fuzz=FuzzServeConn -fuzztime=30s ./internal/rms/
 
 # Reduced-scale reproduction of every table and figure (about 4 minutes).
 repro:

@@ -10,12 +10,15 @@
 //	dynpctl cancel -id 5
 //	dynpctl tick -to 7200
 //	dynpctl finished
+//	dynpctl fail -procs 8        # take processors out of service
+//	dynpctl restore -procs 8     # bring them back
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dynp/internal/job"
 	"dynp/internal/rms"
@@ -32,11 +35,18 @@ func main() {
 	estimate := fs.Int64("estimate", 3600, "estimated run time in seconds (submit)")
 	id := fs.Int64("id", 0, "job id (done/cancel/job)")
 	to := fs.Int64("to", 0, "virtual time to advance to (tick)")
+	procs := fs.Int("procs", 1, "processors to fail/restore")
+	timeout := fs.Duration("timeout", rms.DefaultCallTimeout, "per-call deadline (negative disables)")
+	retries := fs.Int("retries", rms.DefaultRetries, "extra attempts for read-only calls on network failure")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
-	c, err := rms.Dial(*addr)
+	c, err := rms.DialOptions(*addr, rms.ClientOptions{
+		Timeout: *timeout,
+		Retries: *retries,
+		Seed:    uint64(time.Now().UnixNano()),
+	})
 	fail(err)
 	defer c.Close()
 
@@ -73,6 +83,10 @@ func main() {
 		fmt.Printf("t=%d  scheduler %s  active policy %s\n", st.Now, st.Scheduler, st.ActivePolicy)
 		fmt.Printf("machine: %d/%d processors busy, %d finished jobs\n",
 			st.UsedProcs, st.Capacity, st.Finished)
+		if st.FailedProcs > 0 {
+			fmt.Printf("degraded: %d processors out of service (%d usable)\n",
+				st.FailedProcs, st.Capacity-st.FailedProcs)
+		}
 		if len(st.Running) > 0 {
 			fmt.Println("running:")
 			for _, j := range st.Running {
@@ -94,6 +108,16 @@ func main() {
 			fmt.Printf("job %-5d %-9s started %-8d finished %-8d waited %d s\n",
 				j.ID, j.State, j.Started, j.Finished, j.Started-j.Submitted)
 		}
+	case "fail":
+		st, err := c.Fail(*procs)
+		fail(err)
+		fmt.Printf("t=%d: %d processors out of service, %d/%d usable busy\n",
+			st.Now, st.FailedProcs, st.UsedProcs, st.Capacity-st.FailedProcs)
+	case "restore":
+		st, err := c.Restore(*procs)
+		fail(err)
+		fmt.Printf("t=%d: %d processors out of service, %d/%d usable busy\n",
+			st.Now, st.FailedProcs, st.UsedProcs, st.Capacity-st.FailedProcs)
 	case "report":
 		rep, err := c.Report()
 		fail(err)
@@ -106,7 +130,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dynpctl <submit|done|cancel|job|status|tick|finished|report> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dynpctl <submit|done|cancel|job|status|tick|finished|report|fail|restore> [flags]")
 	os.Exit(2)
 }
 

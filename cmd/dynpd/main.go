@@ -12,6 +12,11 @@
 //   - real time (-timescale N): every wall-clock second advances the
 //     virtual clock by N seconds.
 //
+// With -journal <path> the daemon appends every state-changing event to a
+// write-ahead journal before applying it. After a crash (even kill -9),
+// restarting on the same journal replays the history and resumes with
+// byte-identical state; see DESIGN.md's fault-model section.
+//
 // Example session (with netcat):
 //
 //	$ dynpd -procs 64 -scheduler dynP/SJF-preferred &
@@ -42,6 +47,10 @@ func main() {
 			"scheduler: FCFS, SJF, LJF, EASY, dynP/simple, dynP/advanced, dynP/<POLICY>-preferred")
 		timescale = flag.Int64("timescale", 0,
 			"real-time mode: virtual seconds per wall-clock second (0 = virtual clock via 'tick')")
+		journalPath = flag.String("journal", "",
+			"write-ahead event journal; an existing journal is replayed on startup, restoring pre-crash state")
+		idleTimeout = flag.Duration("idle-timeout", 0,
+			"drop client connections idle longer than this (0 = keep forever)")
 	)
 	flag.Parse()
 
@@ -50,7 +59,21 @@ func main() {
 	sched, err := rms.New(*procs, spec.New(), 0)
 	fail(err)
 
+	if *journalPath != "" {
+		journal, err := rms.OpenJournal(*journalPath)
+		fail(err)
+		replayed, err := journal.Replay(sched)
+		fail(err)
+		if replayed > 0 {
+			fmt.Fprintf(os.Stderr, "dynpd: replayed %d events from %s, resuming at t=%d\n",
+				replayed, *journalPath, sched.Now())
+		}
+		fail(sched.SetJournal(journal))
+		defer journal.Close()
+	}
+
 	server := rms.NewServer(sched, *timescale == 0)
+	server.IdleTimeout = *idleTimeout
 	bound, err := server.Listen(*addr)
 	fail(err)
 	fmt.Fprintf(os.Stderr, "dynpd: %s scheduling %d processors on %s (clock: %s)\n",
@@ -59,6 +82,10 @@ func main() {
 	stopTicker := make(chan struct{})
 	if *timescale > 0 {
 		go func() {
+			// A replayed journal resumes mid-history: offset the wall
+			// clock so time continues from the restored instant instead
+			// of trying to advance backwards to zero.
+			base := sched.Now()
 			start := time.Now()
 			ticker := time.NewTicker(250 * time.Millisecond)
 			defer ticker.Stop()
@@ -67,7 +94,7 @@ func main() {
 				case <-stopTicker:
 					return
 				case <-ticker.C:
-					virtual := int64(time.Since(start).Seconds() * float64(*timescale))
+					virtual := base + int64(time.Since(start).Seconds()*float64(*timescale))
 					if err := sched.Advance(virtual); err != nil {
 						fmt.Fprintf(os.Stderr, "dynpd: clock: %v\n", err)
 					}

@@ -1,0 +1,163 @@
+// Package chaos provides deterministic fault injection for the online
+// RMS: a network dialer whose connections fail, stall and die on a
+// schedule derived from a seed, and a reproducible capacity-failure
+// schedule to drive Scheduler.Fail/Restore. The soak test in this
+// package (see soak_test.go) runs clients through both at once and
+// asserts that no job is lost or double-started.
+//
+// Determinism scope: the fault schedule of the k-th connection handed
+// out by a Dialer depends only on (seed, k), and a capacity schedule
+// depends only on its seed — so a failing run's faults reproduce
+// exactly. Goroutine interleaving still varies across runs; the
+// harness asserts invariants, not byte-identical transcripts.
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dynp/internal/rng"
+)
+
+// Config bounds the injected connection faults. Probabilities are per
+// decision point: DialFail per Dial call, Sever and Delay per Read and
+// per Write.
+type Config struct {
+	DialFail float64       // probability a Dial attempt is refused
+	Sever    float64       // probability an I/O op cuts the connection
+	Delay    float64       // probability an I/O op stalls first
+	MaxDelay time.Duration // upper bound for an injected stall
+}
+
+// Dialer hands out connections to one address that misbehave
+// deterministically. It plugs into rms.ClientOptions.Dialer. Safe for
+// concurrent use.
+type Dialer struct {
+	addr string
+	cfg  Config
+	base *rng.Stream
+
+	mu    sync.Mutex
+	conns uint64 // connections handed out so far
+}
+
+// NewDialer returns a fault-injecting dialer for addr. All randomness
+// derives from seed.
+func NewDialer(addr string, seed uint64, cfg Config) *Dialer {
+	return &Dialer{addr: addr, cfg: cfg, base: rng.New(seed)}
+}
+
+// Dial opens the next connection. Its fault schedule depends only on
+// the dialer's seed and the connection's sequence number.
+func (d *Dialer) Dial() (net.Conn, error) {
+	d.mu.Lock()
+	k := d.conns
+	d.conns++
+	d.mu.Unlock()
+	r := d.base.Derive(0xc0a05, k)
+	if r.Float64() < d.cfg.DialFail {
+		return nil, fmt.Errorf("chaos: dial attempt %d refused", k)
+	}
+	c, err := net.Dial("tcp", d.addr)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{Conn: c, r: r, cfg: d.cfg}, nil
+}
+
+// Conns returns how many connections the dialer has handed out (counting
+// refused dial attempts).
+func (d *Dialer) Conns() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.conns
+}
+
+// conn wraps a TCP connection with fault injection on every Read and
+// Write. Once severed, the underlying connection is closed and every
+// further op fails.
+type conn struct {
+	net.Conn
+	cfg Config
+
+	mu      sync.Mutex
+	r       *rng.Stream
+	severed bool
+}
+
+// fault runs one decision point: maybe stall, maybe sever.
+func (c *conn) fault() error {
+	c.mu.Lock()
+	if c.severed {
+		c.mu.Unlock()
+		return fmt.Errorf("chaos: connection severed")
+	}
+	var stall time.Duration
+	if c.cfg.MaxDelay > 0 && c.r.Float64() < c.cfg.Delay {
+		stall = time.Duration(1 + c.r.Int63n(int64(c.cfg.MaxDelay)))
+	}
+	sever := c.r.Float64() < c.cfg.Sever
+	if sever {
+		c.severed = true
+	}
+	c.mu.Unlock()
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if sever {
+		c.Conn.Close()
+		return fmt.Errorf("chaos: connection severed")
+	}
+	return nil
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if err := c.fault(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if err := c.fault(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// CapacityEvent is one step of a capacity-failure schedule.
+type CapacityEvent struct {
+	Fail  bool // true: fail Procs processors; false: restore them
+	Procs int
+}
+
+// CapacitySchedule derives a deterministic sequence of fail/restore
+// events that never takes more than maxDown processors down at once and
+// ends with every processor restored. The same (seed, steps, maxDown)
+// always yields the same schedule.
+func CapacitySchedule(seed uint64, steps, maxDown int) []CapacityEvent {
+	if maxDown < 1 {
+		return nil
+	}
+	r := rng.New(seed).Derive(0xca9ac17)
+	var out []CapacityEvent
+	down := 0
+	for i := 0; i < steps; i++ {
+		restore := down == maxDown || (down > 0 && r.Float64() < 0.5)
+		if restore {
+			n := 1 + r.Intn(down)
+			out = append(out, CapacityEvent{Fail: false, Procs: n})
+			down -= n
+		} else {
+			n := 1 + r.Intn(maxDown-down)
+			out = append(out, CapacityEvent{Fail: true, Procs: n})
+			down += n
+		}
+	}
+	if down > 0 {
+		out = append(out, CapacityEvent{Fail: false, Procs: down})
+	}
+	return out
+}

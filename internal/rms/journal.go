@@ -1,0 +1,437 @@
+// Crash-safe persistence for the online scheduler: a write-ahead event
+// journal with periodic state snapshots.
+//
+// The journal is a plain file of newline-delimited JSON. The first line
+// is a header describing the scheduler configuration; every further line
+// is either one external event (written and flushed *before* the event
+// mutates scheduler state) or a snapshot of the full post-event state.
+// Because the scheduler is deterministic — the clock is explicit and
+// every source of change is an external event — replaying the events
+// into a freshly constructed scheduler with the same configuration
+// rebuilds byte-identical state, including the internal state of a
+// stateful driver such as the self-tuning dynP scheduler. Snapshots are
+// consistency checkpoints: replay verifies the rebuilt state against
+// each one, so silent divergence (a tampered journal, a changed binary)
+// is detected instead of propagated.
+//
+// A crash can leave a partial last line; OpenJournal recovers the
+// longest valid prefix and truncates the rest, so a kill -9 loses at
+// most the event whose append did not reach the operating system.
+package rms
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"dynp/internal/job"
+)
+
+// journalVersion identifies the on-disk format.
+const journalVersion = 1
+
+// DefaultSnapshotEvery is the default number of events between state
+// snapshots in the journal.
+const DefaultSnapshotEvery = 256
+
+// The external event operations recorded in the journal. They double as
+// the protocol op names (see server.go).
+const (
+	opSubmit  = "submit"
+	opDone    = "done"
+	opCancel  = "cancel"
+	opTick    = "tick"
+	opDeliver = "deliver"
+	opFail    = "fail"
+	opRestore = "restore"
+)
+
+// Event is one external scheduler event: everything that can change
+// scheduler state besides the deterministic consequences of time.
+type Event struct {
+	Op          string       `json:"op"`
+	Width       int          `json:"width,omitempty"`
+	Estimate    int64        `json:"estimate,omitempty"`
+	ID          int64        `json:"id,omitempty"`
+	To          int64        `json:"to,omitempty"`
+	Procs       int          `json:"procs,omitempty"`
+	Completions []int64      `json:"completions,omitempty"`
+	Subs        []Submission `json:"subs,omitempty"`
+}
+
+// journalHeader pins the scheduler configuration a journal belongs to.
+type journalHeader struct {
+	Version   int    `json:"version"`
+	Capacity  int    `json:"capacity"`
+	Scheduler string `json:"scheduler"`
+	Start     int64  `json:"start"`
+}
+
+// snapshotState is the full externally visible scheduler state, cut
+// after an event applied. Replay verifies against it.
+type snapshotState struct {
+	Now      int64     `json:"now"`
+	NextID   int64     `json:"next_id"`
+	Failed   int       `json:"failed"`
+	Status   Status    `json:"status"`
+	Finished []JobInfo `json:"finished"`
+}
+
+// snapshotLocked captures the verification snapshot. Callers hold the
+// scheduler lock.
+func (s *Scheduler) snapshotLocked() snapshotState {
+	return snapshotState{
+		Now:      s.now,
+		NextID:   int64(s.nextID),
+		Failed:   s.failed,
+		Status:   s.statusLocked(),
+		Finished: append([]JobInfo{}, s.done...),
+	}
+}
+
+// journalLine is one line of the file: exactly one field is set.
+type journalLine struct {
+	Header   *journalHeader `json:"header,omitempty"`
+	Event    *Event         `json:"event,omitempty"`
+	Snapshot *snapshotState `json:"snapshot,omitempty"`
+}
+
+// Journal is an append-only write-ahead log of scheduler events. Open
+// one with OpenJournal, replay it into a fresh scheduler with Replay,
+// then attach it with Scheduler.SetJournal. Safe for concurrent use.
+type Journal struct {
+	mu            sync.Mutex
+	path          string
+	f             *os.File
+	w             *bufio.Writer
+	valid         int64 // length of the validated prefix at open time
+	lines         int   // valid lines at open time
+	hasHeader     bool
+	appended      bool // any write since open
+	sinceSnapshot int  // events since the last snapshot
+	snapshotEvery int
+	err           error // sticky write error; the journal refuses further appends
+}
+
+// OpenJournal opens (or creates) the journal at path, validates its
+// contents and truncates any corrupt suffix — a partial line from a
+// crash, or garbage — so the file ends at the longest valid prefix.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("rms: journal: %w", err)
+	}
+	j := &Journal{path: path, f: f, w: bufio.NewWriter(f), snapshotEvery: DefaultSnapshotEvery}
+	if err := j.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// recover scans the file, records the longest valid prefix, truncates
+// the rest and positions the writer at the end of the valid data.
+func (j *Journal) recover() error {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("rms: journal: %w", err)
+	}
+	r := bufio.NewReader(j.f)
+	var offset int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// EOF with a partial (unterminated) line: a crashed append.
+			// Anything else ends validation at the current offset too.
+			break
+		}
+		var l journalLine
+		if !validLine(line, &l) {
+			break
+		}
+		if offset == 0 && l.Header == nil {
+			// A journal must start with its header.
+			break
+		}
+		if l.Header != nil {
+			if offset != 0 {
+				break // a header anywhere else is corruption
+			}
+			j.hasHeader = true
+		}
+		if l.Event != nil {
+			j.sinceSnapshot++
+		}
+		if l.Snapshot != nil {
+			j.sinceSnapshot = 0
+		}
+		offset += int64(len(line))
+		j.lines++
+	}
+	j.valid = offset
+	if offset == 0 {
+		// Nothing valid at all. An empty file is a fresh journal; a
+		// non-empty one is not ours (foreign file, unsupported format,
+		// or a header torn by a crash during the very first write) —
+		// refuse rather than destroy it by truncating.
+		if st, err := j.f.Stat(); err == nil && st.Size() > 0 {
+			return fmt.Errorf("rms: journal %s: no valid header; not a dynpd journal (delete it to start fresh)", j.path)
+		}
+	}
+	if err := j.f.Truncate(offset); err != nil {
+		return fmt.Errorf("rms: journal truncate: %w", err)
+	}
+	if _, err := j.f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("rms: journal: %w", err)
+	}
+	return nil
+}
+
+// validLine reports whether b is one well-formed journal line and
+// decodes it into l.
+func validLine(b []byte, l *journalLine) bool {
+	if len(bytes.TrimSpace(b)) == 0 {
+		return false
+	}
+	if err := json.Unmarshal(b, l); err != nil {
+		return false
+	}
+	set := 0
+	if l.Header != nil {
+		set++
+	}
+	if l.Event != nil {
+		set++
+	}
+	if l.Snapshot != nil {
+		set++
+	}
+	return set == 1
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// SetSnapshotEvery sets the number of events between snapshots; n < 1
+// disables snapshots.
+func (j *Journal) SetSnapshotEvery(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.snapshotEvery = n
+}
+
+// fresh reports whether the journal holds no valid data yet.
+func (j *Journal) fresh() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.valid == 0 && !j.appended
+}
+
+// writeHeader records the scheduler configuration as the first line.
+func (j *Journal) writeHeader(h journalHeader) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.hasHeader = true
+	return j.appendLine(journalLine{Header: &h})
+}
+
+// Append records one event and flushes it to the operating system before
+// returning, so a subsequent process crash cannot lose it. After any
+// write error the journal turns itself off permanently (every further
+// Append fails): a journal with a hole must not keep growing.
+func (j *Journal) Append(ev Event) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendLine(journalLine{Event: &ev}); err != nil {
+		return err
+	}
+	j.sinceSnapshot++
+	return nil
+}
+
+func (j *Journal) appendLine(l journalLine) error {
+	if j.err != nil {
+		return j.err
+	}
+	b, err := json.Marshal(l)
+	if err != nil {
+		j.err = fmt.Errorf("rms: journal encode: %w", err)
+		return j.err
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil {
+		j.err = fmt.Errorf("rms: journal write: %w", err)
+		return j.err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = fmt.Errorf("rms: journal flush: %w", err)
+		return j.err
+	}
+	j.appended = true
+	return nil
+}
+
+// maybeSnapshot cuts a state snapshot when enough events accumulated
+// since the last one, and syncs the file to disk at that boundary. The
+// scheduler calls it with its own lock held, after an event applied.
+func (j *Journal) maybeSnapshot(s *Scheduler) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.snapshotEvery < 1 || j.sinceSnapshot < j.snapshotEvery {
+		return
+	}
+	snap := s.snapshotLocked()
+	if j.appendLine(journalLine{Snapshot: &snap}) == nil {
+		j.sinceSnapshot = 0
+		_ = j.f.Sync()
+	}
+}
+
+// Sync flushes buffered data and fsyncs the file.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = fmt.Errorf("rms: journal flush: %w", err)
+		return j.err
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	syncErr := j.Sync()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if closeErr := j.f.Close(); syncErr == nil {
+		return closeErr
+	}
+	return syncErr
+}
+
+// Replay feeds every recorded event into the scheduler, which must be
+// freshly constructed with the configuration the journal's header
+// records and must not have the journal attached yet. Events the
+// scheduler rejects are skipped — the original process rejected them
+// identically, so state is unaffected — while structural problems
+// (missing or mismatched header, unknown ops, snapshot divergence)
+// abort with an error. It returns the number of events applied.
+func (j *Journal) Replay(s *Scheduler) (int, error) {
+	j.mu.Lock()
+	valid := j.valid
+	appended := j.appended
+	j.mu.Unlock()
+	if appended {
+		return 0, fmt.Errorf("rms: journal: replay after appends")
+	}
+	if valid == 0 {
+		return 0, nil // empty journal: nothing to do
+	}
+
+	s.mu.Lock()
+	attached := s.journal
+	virgin := s.nextID == 0 && len(s.done) == 0
+	capacity, name, now := s.capacity, s.driver.Name(), s.now
+	s.mu.Unlock()
+	if attached != nil {
+		return 0, fmt.Errorf("rms: journal: replay into a journaled scheduler would re-append every event")
+	}
+	if !virgin {
+		return 0, fmt.Errorf("rms: journal: replay target already has state")
+	}
+
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("rms: journal: %w", err)
+	}
+	defer j.f.Seek(valid, io.SeekStart)
+	r := bufio.NewReader(io.LimitReader(j.f, valid))
+
+	applied, lineNo := 0, 0
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			break // end of the valid prefix
+		}
+		lineNo++
+		var l journalLine
+		if !validLine(line, &l) {
+			return applied, fmt.Errorf("rms: journal: line %d invalid inside validated prefix", lineNo)
+		}
+		switch {
+		case l.Header != nil:
+			if lineNo != 1 {
+				return applied, fmt.Errorf("rms: journal: header on line %d", lineNo)
+			}
+			h := *l.Header
+			if h.Version != journalVersion {
+				return applied, fmt.Errorf("rms: journal: version %d, want %d", h.Version, journalVersion)
+			}
+			if h.Capacity != capacity || h.Scheduler != name || h.Start != now {
+				return applied, fmt.Errorf(
+					"rms: journal: recorded for %q with %d processors from t=%d, scheduler is %q with %d from t=%d",
+					h.Scheduler, h.Capacity, h.Start, name, capacity, now)
+			}
+		case l.Event != nil:
+			if lineNo == 1 {
+				return applied, fmt.Errorf("rms: journal: missing header")
+			}
+			if err := applyEvent(s, *l.Event); err != nil {
+				return applied, err
+			}
+			applied++
+		case l.Snapshot != nil:
+			want, err := json.Marshal(l.Snapshot)
+			if err != nil {
+				return applied, fmt.Errorf("rms: journal: %w", err)
+			}
+			s.mu.Lock()
+			live := s.snapshotLocked()
+			s.mu.Unlock()
+			got, err := json.Marshal(&live)
+			if err != nil {
+				return applied, fmt.Errorf("rms: journal: %w", err)
+			}
+			if !bytes.Equal(want, got) {
+				return applied, fmt.Errorf(
+					"rms: journal: snapshot on line %d does not match replayed state (journal tampered with, or written by different code)", lineNo)
+			}
+		}
+	}
+	return applied, nil
+}
+
+// applyEvent dispatches one journaled event through the scheduler's
+// normal entry points. Rejections are deterministic re-runs of the
+// original rejection and are deliberately ignored; an op this version
+// does not know is a structural error.
+func applyEvent(s *Scheduler, ev Event) error {
+	switch ev.Op {
+	case opSubmit:
+		_, _ = s.Submit(ev.Width, ev.Estimate)
+	case opDone:
+		_, _ = s.Complete(job.ID(ev.ID))
+	case opCancel:
+		_ = s.Cancel(job.ID(ev.ID))
+	case opTick:
+		_ = s.Advance(ev.To)
+	case opFail:
+		_ = s.Fail(ev.Procs)
+	case opRestore:
+		_ = s.Restore(ev.Procs)
+	case opDeliver:
+		ids := make([]job.ID, len(ev.Completions))
+		for i, id := range ev.Completions {
+			ids[i] = job.ID(id)
+		}
+		_, _ = s.Deliver(ev.To, ids, ev.Subs)
+	default:
+		return fmt.Errorf("rms: journal: unknown event op %q", ev.Op)
+	}
+	return nil
+}

@@ -1,0 +1,367 @@
+package rms
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynp/internal/core"
+	"dynp/internal/job"
+	"dynp/internal/policy"
+	"dynp/internal/rng"
+	"dynp/internal/sim"
+)
+
+func newDynP() sim.Driver { return sim.NewDynP(core.Preferred{Policy: policy.SJF}) }
+
+// journaledScheduler returns a scheduler writing to a fresh journal in a
+// temp dir.
+func journaledScheduler(t *testing.T, capacity int, snapshotEvery int) (*Scheduler, *Journal, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "events.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSnapshotEvery(snapshotEvery)
+	s, err := New(capacity, newDynP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	return s, j, path
+}
+
+// driveRandomEvents pushes a deterministic pseudo-random mix of every
+// external event through the scheduler: submissions, completions,
+// cancels, clock advances, capacity failures/restores and atomic
+// deliveries — including some the scheduler rejects.
+func driveRandomEvents(t *testing.T, s *Scheduler, seed uint64, n int) {
+	t.Helper()
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		switch r.Intn(10) {
+		case 0, 1, 2:
+			if _, err := s.Submit(1+r.Intn(8), int64(1+r.Intn(80))); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			st := s.Status()
+			if len(st.Running) > 0 {
+				id := st.Running[r.Intn(len(st.Running))].ID
+				if _, err := s.Complete(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 4:
+			st := s.Status()
+			if len(st.Waiting) > 0 {
+				id := st.Waiting[r.Intn(len(st.Waiting))].ID
+				if err := s.Cancel(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 5, 6:
+			if err := s.Advance(s.Now() + int64(r.Intn(40))); err != nil {
+				t.Fatal(err)
+			}
+		case 7:
+			st := s.Status()
+			if free := st.Capacity - st.FailedProcs; free > 1 {
+				if err := s.Fail(1 + r.Intn(free-1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 8:
+			st := s.Status()
+			if st.FailedProcs > 0 {
+				if err := s.Restore(1 + r.Intn(st.FailedProcs)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 9:
+			subs := []Submission{{Width: 1 + r.Intn(8), Estimate: int64(1 + r.Intn(50))}}
+			if r.Intn(4) == 0 {
+				// A batch the scheduler rejects (unknown completion):
+				// journaled ahead of validation, it must replay into the
+				// identical rejection.
+				_, err := s.Deliver(s.Now()+int64(r.Intn(10)), []job.ID{99999}, subs)
+				if err == nil {
+					t.Fatal("unknown completion accepted")
+				}
+			} else if _, err := s.Deliver(s.Now()+int64(r.Intn(10)), nil, subs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("after event %d: %v", i, err)
+		}
+	}
+}
+
+// fingerprint summarises externally visible scheduler state as JSON.
+func fingerprint(t *testing.T, s *Scheduler) string {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Status   Status
+		Report   Report
+		Finished []JobInfo
+	}{s.Status(), s.Report(), s.Finished()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func replayFresh(t *testing.T, path string, capacity int) (*Scheduler, *Journal, int, error) {
+	t.Helper()
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(capacity, newDynP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := j.Replay(s)
+	return s, j, n, err
+}
+
+func TestJournalReplayEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 0xdead, 0xc0ffee} {
+		live, j, path := journaledScheduler(t, 16, 5)
+		driveRandomEvents(t, live, seed, 120)
+		want := fingerprint(t, live)
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		replayed, j2, n, err := replayFresh(t, path, 16)
+		if err != nil {
+			t.Fatalf("seed %#x: replay: %v", seed, err)
+		}
+		defer j2.Close()
+		if n == 0 {
+			t.Fatalf("seed %#x: no events replayed", seed)
+		}
+		if got := fingerprint(t, replayed); got != want {
+			t.Errorf("seed %#x: replayed state diverges\nlive:     %s\nreplayed: %s", seed, want, got)
+		}
+	}
+}
+
+func TestJournalReplayThenContinue(t *testing.T) {
+	// A replayed scheduler must accept new journaled events and replay
+	// again to the same state: the crash/restart cycle is closed.
+	live, j, path := journaledScheduler(t, 8, 3)
+	driveRandomEvents(t, live, 7, 40)
+	j.Close()
+
+	restarted, j2, _, err := replayFresh(t, path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.SetJournal(j2); err != nil {
+		t.Fatal(err)
+	}
+	driveRandomEvents(t, restarted, 8, 40)
+	want := fingerprint(t, restarted)
+	j2.Close()
+
+	again, j3, _, err := replayFresh(t, path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if got := fingerprint(t, again); got != want {
+		t.Errorf("second-generation replay diverges\nlive:     %s\nreplayed: %s", want, got)
+	}
+}
+
+func TestJournalRecoversTruncatedTail(t *testing.T) {
+	live, j, path := journaledScheduler(t, 8, 0)
+	driveRandomEvents(t, live, 3, 30)
+	want := fingerprint(t, live)
+	j.Close()
+
+	// A kill -9 mid-append leaves a partial final line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"event":{"op":"submit","wi`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(path)
+
+	replayed, j2, _, err := replayFresh(t, path, 8)
+	if err != nil {
+		t.Fatalf("replay after torn write: %v", err)
+	}
+	defer j2.Close()
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Errorf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if got := fingerprint(t, replayed); got != want {
+		t.Errorf("state after torn-write recovery diverges\nlive:     %s\nreplayed: %s", want, got)
+	}
+}
+
+func TestJournalCorruptLineEndsValidPrefix(t *testing.T) {
+	live, j, path := journaledScheduler(t, 8, 0)
+	for i := 0; i < 5; i++ {
+		if _, err := live.Submit(1, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Corrupt a middle line: everything after it is unrecoverable and
+	// must be discarded, keeping the longest valid prefix.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("journal too short: %d lines", len(lines))
+	}
+	lines[3] = "garbage not json\n"
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, j2, n, err := replayFresh(t, path, 8)
+	if err != nil {
+		t.Fatalf("replay after mid-file corruption: %v", err)
+	}
+	defer j2.Close()
+	// Header + 2 events survive (line 4 of 6 was destroyed).
+	if n != 2 {
+		t.Errorf("replayed %d events, want 2", n)
+	}
+	if got := len(replayed.Status().Running) + len(replayed.Status().Waiting); got != 2 {
+		t.Errorf("%d jobs after prefix recovery, want 2", got)
+	}
+}
+
+func TestJournalSnapshotDetectsTampering(t *testing.T) {
+	live, j, path := journaledScheduler(t, 8, 2)
+	driveRandomEvents(t, live, 11, 30)
+	j.Close()
+
+	// Flip a submitted width inside the journal: replay now diverges
+	// from the recorded snapshots and must say so instead of silently
+	// rebuilding different state.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"op":"submit","width":`, `"op":"submit","width":1`, 1)
+	if tampered == string(data) {
+		t.Skip("no submit event to tamper with")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, j2, _, err := replayFresh(t, path, 8)
+	if err == nil {
+		t.Fatal("tampered journal replayed without error")
+	}
+	j2.Close()
+	if !strings.Contains(err.Error(), "snapshot") {
+		t.Errorf("error %q does not mention the snapshot check", err)
+	}
+}
+
+func TestJournalHeaderGuards(t *testing.T) {
+	live, j, path := journaledScheduler(t, 8, 0)
+	if _, err := live.Submit(2, 10); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Wrong capacity.
+	if _, j2, _, err := replayFresh(t, path, 16); err == nil {
+		t.Error("capacity-mismatched replay accepted")
+	} else {
+		j2.Close()
+	}
+
+	// Wrong scheduler.
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := New(8, &sim.Static{Policy: policy.FCFS}, 0)
+	if _, err := j3.Replay(other); err == nil {
+		t.Error("scheduler-mismatched replay accepted")
+	}
+	j3.Close()
+
+	// Replay into a scheduler that already has state.
+	j4, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, _ := New(8, newDynP(), 0)
+	dirty.Submit(1, 5)
+	if _, err := j4.Replay(dirty); err == nil {
+		t.Error("replay into a non-fresh scheduler accepted")
+	}
+	j4.Close()
+
+	// A file without a valid header is not ours: refuse to open it
+	// rather than truncate someone's data to zero.
+	nohdr := filepath.Join(t.TempDir(), "nohdr.journal")
+	if err := os.WriteFile(nohdr, []byte(`{"event":{"op":"submit","width":1,"estimate":5}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(nohdr); err == nil {
+		t.Error("headerless file opened as a journal")
+	}
+	if data, err := os.ReadFile(nohdr); err != nil || len(data) == 0 {
+		t.Errorf("foreign file was destroyed: %d bytes, %v", len(data), err)
+	}
+}
+
+func TestJournalAppendAfterReplayGuard(t *testing.T) {
+	_, j, path := journaledScheduler(t, 8, 0)
+	j.Close()
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := j2.Append(Event{Op: opTick, To: 5}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := New(8, newDynP(), 0)
+	if _, err := j2.Replay(fresh); err == nil {
+		t.Error("replay after appends accepted")
+	}
+}
+
+func TestJournalWriteErrorFailsOperations(t *testing.T) {
+	s, j, _ := journaledScheduler(t, 8, 0)
+	// Close the file under the journal: the next append must fail, the
+	// operation must be rejected, and state must stay unchanged.
+	j.f.Close()
+	if _, err := s.Submit(1, 10); err == nil {
+		t.Fatal("submit succeeded with a dead journal")
+	}
+	if st := s.Status(); len(st.Waiting)+len(st.Running) != 0 {
+		t.Errorf("state mutated despite journal failure: %+v", st)
+	}
+	// The error is sticky.
+	if err := j.Append(Event{Op: opTick, To: 1}); err == nil {
+		t.Error("append after write error accepted")
+	}
+}

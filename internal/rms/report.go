@@ -5,8 +5,9 @@ package rms
 // computed from what the RMS observed.
 type Report struct {
 	Now        int64
-	Jobs       int     // finished jobs (completed + killed)
+	Jobs       int     // finished jobs (completed + killed + failed)
 	Killed     int     // jobs terminated at their estimate
+	Failed     int     // jobs terminated by a capacity failure
 	SLDwA      float64 // slowdown weighted by actual area
 	ART        float64 // average response time, seconds
 	AWT        float64 // average waiting time, seconds
@@ -30,8 +31,11 @@ func (s *Scheduler) Report() Report {
 	var area, weighted float64
 	var waitSum, respSum float64
 	for _, j := range s.done {
-		if j.State == StateKilled {
+		switch j.State {
+		case StateKilled:
 			rep.Killed++
+		case StateFailed:
+			rep.Failed++
 		}
 		if j.Submitted < first {
 			first = j.Submitted

@@ -9,6 +9,13 @@
 // Time is explicit: the caller drives the clock with Advance, which makes
 // the core fully deterministic and testable; a real-time front end (see
 // cmd/dynpd) simply calls Advance from a wall-clock ticker.
+//
+// The scheduler survives the failure classes a real cluster sees:
+// processors can fail and be restored at run time (Fail/Restore), with a
+// configurable victim policy deciding which running jobs die when the
+// machine shrinks under them, and every external event can be recorded in
+// a crash-safe write-ahead journal (see journal.go) whose replay rebuilds
+// identical state after a daemon crash.
 package rms
 
 import (
@@ -31,9 +38,10 @@ const (
 	StateRunning
 	StateCompleted
 	StateKilled // estimate expired; the RMS terminated the job
+	StateFailed // processors failed under the job; the victim policy terminated it
 )
 
-var stateNames = [...]string{"waiting", "running", "completed", "killed"}
+var stateNames = [...]string{"waiting", "running", "completed", "killed", "failed"}
 
 // String returns the lowercase state name.
 func (s JobState) String() string {
@@ -43,6 +51,13 @@ func (s JobState) String() string {
 	return fmt.Sprintf("JobState(%d)", int(s))
 }
 
+// NeverStart is the sentinel planned start of a waiting job that cannot
+// be placed at all under the current effective capacity (its width
+// exceeds the processors that are still up). The job stays queued; once
+// enough capacity is restored the next replanning event assigns it a
+// real planned start again.
+const NeverStart int64 = -1
+
 // JobInfo is the externally visible status of one job.
 type JobInfo struct {
 	ID           job.ID
@@ -50,26 +65,63 @@ type JobInfo struct {
 	Estimate     int64
 	Submitted    int64
 	State        JobState
-	PlannedStart int64 // meaningful while waiting
+	PlannedStart int64 // meaningful while waiting; NeverStart if unplaceable
 	Started      int64 // meaningful once running
-	Finished     int64 // meaningful once completed/killed
+	Finished     int64 // meaningful once completed/killed/failed
+}
+
+// VictimPolicy orders the running jobs for termination when a capacity
+// failure leaves the machine oversubscribed: victims are killed from the
+// front of the returned slice until the remaining jobs fit the effective
+// capacity. The input slice is a copy; the policy may reorder it freely.
+type VictimPolicy func(now int64, running []plan.Running) []plan.Running
+
+// VictimLastStarted kills the most recently started jobs first (ties
+// broken by higher ID first), minimising the amount of finished work a
+// capacity failure destroys. It is the default.
+func VictimLastStarted(now int64, running []plan.Running) []plan.Running {
+	sort.Slice(running, func(i, j int) bool {
+		if running[i].Start != running[j].Start {
+			return running[i].Start > running[j].Start
+		}
+		return running[i].Job.ID > running[j].Job.ID
+	})
+	return running
+}
+
+// VictimWidestFirst kills the widest jobs first (ties broken by later
+// start, then higher ID), freeing the most processors per kill.
+func VictimWidestFirst(now int64, running []plan.Running) []plan.Running {
+	sort.Slice(running, func(i, j int) bool {
+		if running[i].Job.Width != running[j].Job.Width {
+			return running[i].Job.Width > running[j].Job.Width
+		}
+		if running[i].Start != running[j].Start {
+			return running[i].Start > running[j].Start
+		}
+		return running[i].Job.ID > running[j].Job.ID
+	})
+	return running
 }
 
 // Scheduler is an online planning-based RMS core. Create with New; all
 // methods are safe for concurrent use.
 type Scheduler struct {
 	mu       sync.Mutex
-	capacity int
+	capacity int // installed processors
+	failed   int // processors currently failed
 	driver   sim.Driver
 	now      int64
 	nextID   job.ID
+	victims  VictimPolicy
+	journal  *Journal
 
 	waiting []*job.Job
 	running []plan.Running
 	infos   map[job.ID]*JobInfo
 	plan    *plan.Schedule
 
-	done []JobInfo // completed and killed jobs, in finish order
+	done []JobInfo // completed, killed and failed jobs, in finish order
 }
 
 // New returns an online scheduler for a machine with the given capacity,
@@ -86,10 +138,73 @@ func New(capacity int, driver sim.Driver, startTime int64) (*Scheduler, error) {
 		capacity: capacity,
 		driver:   driver,
 		now:      startTime,
+		victims:  VictimLastStarted,
 		infos:    make(map[job.ID]*JobInfo),
 	}
 	s.replan()
 	return s, nil
+}
+
+// SetVictimPolicy replaces the policy that picks which running jobs die
+// when a capacity failure oversubscribes the machine. A nil policy
+// restores the default (VictimLastStarted).
+func (s *Scheduler) SetVictimPolicy(p VictimPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p == nil {
+		p = VictimLastStarted
+	}
+	s.victims = p
+}
+
+// SetJournal attaches a write-ahead journal: every subsequent external
+// event (submit, complete, cancel, advance, deliver, fail, restore) is
+// appended — and flushed — before it mutates scheduler state, so a
+// crashed daemon can rebuild identical state with Journal.Replay. Attach
+// after replaying, before serving traffic. If the journal is empty, a
+// header describing this scheduler is written so a later replay can
+// reject a mismatched configuration.
+func (s *Scheduler) SetJournal(j *Journal) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j != nil && j.fresh() {
+		if err := j.writeHeader(journalHeader{
+			Version:   journalVersion,
+			Capacity:  s.capacity,
+			Scheduler: s.driver.Name(),
+			Start:     s.now,
+		}); err != nil {
+			return fmt.Errorf("rms: journal header: %w", err)
+		}
+	}
+	s.journal = j
+	return nil
+}
+
+// effective returns the processors currently usable for planning.
+// Callers hold the lock.
+func (s *Scheduler) effective() int { return s.capacity - s.failed }
+
+// journalAppend records an external event ahead of applying it. On a
+// journal write error the event must not be applied — the journal is the
+// authority after a crash — so callers return the error to the client.
+// Callers hold the lock.
+func (s *Scheduler) journalAppend(ev Event) error {
+	if s.journal == nil {
+		return nil
+	}
+	if err := s.journal.Append(ev); err != nil {
+		return fmt.Errorf("rms: journal: %w", err)
+	}
+	return nil
+}
+
+// journalCheckpoint lets the journal cut a periodic snapshot of the
+// post-event state. Callers hold the lock.
+func (s *Scheduler) journalCheckpoint() {
+	if s.journal != nil {
+		s.journal.maybeSnapshot(s)
+	}
 }
 
 // Now returns the scheduler's current time.
@@ -100,7 +215,10 @@ func (s *Scheduler) Now() int64 {
 }
 
 // Submit enters a job (width processors for at most estimate seconds) at
-// the current time and returns its ID and planned start time.
+// the current time and returns its ID and planned start time. Width is
+// validated against the installed capacity: a job wider than the
+// processors currently up is accepted and queued (planned start
+// NeverStart) until enough capacity is restored.
 func (s *Scheduler) Submit(width int, estimate int64) (JobInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -109,6 +227,9 @@ func (s *Scheduler) Submit(width int, estimate int64) (JobInfo, error) {
 	}
 	if estimate < 1 {
 		return JobInfo{}, fmt.Errorf("rms: estimate %d < 1", estimate)
+	}
+	if err := s.journalAppend(Event{Op: opSubmit, Width: width, Estimate: estimate}); err != nil {
+		return JobInfo{}, err
 	}
 	s.nextID++
 	j := &job.Job{
@@ -125,6 +246,7 @@ func (s *Scheduler) Submit(width int, estimate int64) (JobInfo, error) {
 	}
 	s.replan()
 	info := *s.infos[j.ID]
+	s.journalCheckpoint()
 	return info, nil
 }
 
@@ -139,8 +261,12 @@ func (s *Scheduler) Complete(id job.ID) (JobInfo, error) {
 	if info.State != StateRunning {
 		return JobInfo{}, fmt.Errorf("rms: job %d is %s, not running", id, info.State)
 	}
+	if err := s.journalAppend(Event{Op: opDone, ID: int64(id)}); err != nil {
+		return JobInfo{}, err
+	}
 	s.finish(id, StateCompleted)
 	s.replan()
+	s.journalCheckpoint()
 	return *info, nil
 }
 
@@ -155,6 +281,9 @@ func (s *Scheduler) Cancel(id job.ID) error {
 	if info.State != StateWaiting {
 		return fmt.Errorf("rms: job %d is %s, not waiting", id, info.State)
 	}
+	if err := s.journalAppend(Event{Op: opCancel, ID: int64(id)}); err != nil {
+		return err
+	}
 	for i, j := range s.waiting {
 		if j.ID == id {
 			s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
@@ -163,7 +292,83 @@ func (s *Scheduler) Cancel(id job.ID) error {
 	}
 	delete(s.infos, id)
 	s.replan()
+	s.journalCheckpoint()
 	return nil
+}
+
+// Fail takes procs processors out of service at the current time — a
+// node crash or a drain for maintenance. Running jobs that no longer fit
+// the remaining capacity are terminated (state StateFailed) in the order
+// chosen by the victim policy; waiting jobs wider than the remaining
+// capacity stay queued with planned start NeverStart; everything else is
+// replanned against the shrunken machine.
+func (s *Scheduler) Fail(procs int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if procs < 1 {
+		return fmt.Errorf("rms: fail %d processors < 1", procs)
+	}
+	if s.failed+procs > s.capacity {
+		return fmt.Errorf("rms: failing %d processors exceeds capacity (%d of %d already failed)",
+			procs, s.failed, s.capacity)
+	}
+	if err := s.journalAppend(Event{Op: opFail, Procs: procs}); err != nil {
+		return err
+	}
+	s.failed += procs
+	s.killVictims()
+	s.replan()
+	s.journalCheckpoint()
+	return nil
+}
+
+// Restore returns procs previously failed processors to service at the
+// current time and replans: unplaceable jobs get real planned starts
+// again, and waiting work may begin immediately.
+func (s *Scheduler) Restore(procs int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if procs < 1 {
+		return fmt.Errorf("rms: restore %d processors < 1", procs)
+	}
+	if procs > s.failed {
+		return fmt.Errorf("rms: restore %d exceeds %d failed processors", procs, s.failed)
+	}
+	if err := s.journalAppend(Event{Op: opRestore, Procs: procs}); err != nil {
+		return err
+	}
+	s.failed -= procs
+	s.replan()
+	s.journalCheckpoint()
+	return nil
+}
+
+// killVictims terminates running jobs until the rest fit the effective
+// capacity, consulting the victim policy for the order. A policy that
+// returns stale or insufficient victims is backstopped by the default
+// order so the machine is never left oversubscribed. Callers hold the
+// lock.
+func (s *Scheduler) killVictims() {
+	eff := s.effective()
+	used := 0
+	for _, r := range s.running {
+		used += r.Job.Width
+	}
+	if used <= eff {
+		return
+	}
+	order := s.victims(s.now, append([]plan.Running(nil), s.running...))
+	order = append(order, VictimLastStarted(s.now, append([]plan.Running(nil), s.running...))...)
+	for _, r := range order {
+		if used <= eff {
+			break
+		}
+		if info, ok := s.infos[r.Job.ID]; !ok || info.State != StateRunning {
+			continue
+		}
+		s.finish(r.Job.ID, StateFailed)
+		used -= r.Job.Width
+	}
 }
 
 // Advance moves the clock to the given time, starting jobs whose planned
@@ -175,8 +380,16 @@ func (s *Scheduler) Advance(to int64) error {
 	if to < s.now {
 		return fmt.Errorf("rms: cannot advance from %d back to %d", s.now, to)
 	}
+	if to != s.now {
+		// Advancing to the current time is a no-op; journaling only real
+		// moves keeps a real-time ticker from flooding the journal.
+		if err := s.journalAppend(Event{Op: opTick, To: to}); err != nil {
+			return err
+		}
+	}
 	s.advanceLocked(to, false)
 	s.now = to
+	s.journalCheckpoint()
 	return nil
 }
 
@@ -184,14 +397,32 @@ func (s *Scheduler) Advance(to int64) error {
 // time `to` — strictly before it when exclusive is set. Callers hold the
 // lock and are responsible for setting s.now afterwards.
 func (s *Scheduler) advanceLocked(to int64, exclusive bool) {
+	stuck := false
 	for {
-		next, ok := s.nextActionTime()
+		// After a fruitless replan the due-now entries are infeasible for
+		// good (rogue driver, shrunken machine); look strictly ahead so
+		// later expiries and starts still fire instead of spinning on or
+		// returning at the stuck instant.
+		next, ok := s.nextActionTime(stuck)
 		if !ok || next > to || (exclusive && next == to) {
 			return
 		}
+		prevNow, prevRunning, prevDone := s.now, len(s.running), len(s.done)
 		s.now = next
 		s.killExpired()
 		s.startDue()
+		if s.now == prevNow && len(s.running) == prevRunning && len(s.done) == prevDone {
+			// A plan entry is due but cannot act — it no longer fits, or
+			// a rogue driver planned an infeasible start. Replan once to
+			// self-heal before skipping past it.
+			if stuck {
+				return
+			}
+			stuck = true
+			s.replan()
+			continue
+		}
+		stuck = false
 	}
 }
 
@@ -212,8 +443,8 @@ func (s *Scheduler) killExpired() {
 
 // Submission describes one job of a Deliver batch.
 type Submission struct {
-	Width    int
-	Estimate int64
+	Width    int   `json:"width"`
+	Estimate int64 `json:"estimate"`
 }
 
 // Deliver applies a batch of simultaneous external events atomically: the
@@ -232,12 +463,29 @@ func (s *Scheduler) Deliver(t int64, completions []job.ID, subs []Submission) ([
 	if t < s.now {
 		return nil, fmt.Errorf("rms: cannot deliver at %d before current time %d", t, s.now)
 	}
+	// Journaled ahead of the clock move: a batch that fails validation
+	// below is replayed and rejected identically, leaving the same state
+	// (including the advanced clock) as the original run.
+	if len(completions) > 0 || len(subs) > 0 || t != s.now {
+		ids := make([]int64, len(completions))
+		for i, id := range completions {
+			ids[i] = int64(id)
+		}
+		if err := s.journalAppend(Event{Op: opDeliver, To: t, Completions: ids, Subs: subs}); err != nil {
+			return nil, err
+		}
+	}
 	s.advanceLocked(t, true)
 	s.now = t
 
 	// Validate the whole batch before mutating anything, so a bad entry
 	// cannot leave the batch half-applied.
+	seen := make(map[job.ID]struct{}, len(completions))
 	for _, id := range completions {
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("rms: duplicate completion for job %d", id)
+		}
+		seen[id] = struct{}{}
 		info, ok := s.infos[id]
 		if !ok {
 			return nil, fmt.Errorf("rms: unknown job %d", id)
@@ -284,17 +532,23 @@ func (s *Scheduler) Deliver(t int64, completions []job.ID, subs []Submission) ([
 	for id := s.nextID - job.ID(len(subs)) + 1; id <= s.nextID; id++ {
 		out = append(out, *s.infos[id])
 	}
+	s.journalCheckpoint()
 	return out, nil
 }
 
 // nextActionTime returns the earliest time at which the machine state
-// changes by itself: a planned start or an estimate expiry.
-func (s *Scheduler) nextActionTime() (int64, bool) {
+// changes by itself: a planned start or an estimate expiry. With
+// strictlyAfter set, actions due at the current instant are ignored —
+// advanceLocked uses this to step past entries that proved infeasible.
+func (s *Scheduler) nextActionTime(strictlyAfter bool) (int64, bool) {
 	var next int64
 	found := false
 	consider := func(t int64) {
 		if t < s.now {
 			t = s.now
+		}
+		if strictlyAfter && t <= s.now {
+			return
 		}
 		if !found || t < next {
 			next, found = t, true
@@ -329,10 +583,37 @@ func (s *Scheduler) finish(id job.ID, state JobState) {
 	}
 }
 
-// replan recomputes the full schedule and starts due jobs. Callers hold
-// the lock.
+// replan recomputes the full schedule against the effective capacity and
+// starts due jobs. Jobs wider than the effective capacity are
+// unplaceable: they are withheld from the planner and marked with the
+// NeverStart sentinel until capacity returns. Callers hold the lock.
 func (s *Scheduler) replan() {
-	s.plan = s.driver.Plan(s.now, s.capacity, s.running, s.waiting)
+	eff := s.effective()
+	if eff < 1 {
+		// Fully drained machine: nothing can be planned or started.
+		s.plan = nil
+		for _, j := range s.waiting {
+			s.infos[j.ID].PlannedStart = NeverStart
+		}
+		return
+	}
+	planned := s.waiting
+	for i, j := range s.waiting {
+		if j.Width <= eff {
+			continue
+		}
+		// First unplaceable job found; split the queue once.
+		planned = append([]*job.Job(nil), s.waiting[:i]...)
+		for _, k := range s.waiting[i:] {
+			if k.Width <= eff {
+				planned = append(planned, k)
+			} else {
+				s.infos[k.ID].PlannedStart = NeverStart
+			}
+		}
+		break
+	}
+	s.plan = s.driver.Plan(s.now, eff, s.running, planned)
 	for _, e := range s.plan.Entries {
 		if info, ok := s.infos[e.Job.ID]; ok && info.State == StateWaiting {
 			info.PlannedStart = e.Start
@@ -341,11 +622,18 @@ func (s *Scheduler) replan() {
 	s.startDue()
 }
 
-// startDue launches every waiting job whose planned start is now.
-// Callers hold the lock.
+// startDue launches every waiting job whose planned start is now. A plan
+// entry that no longer fits — the capacity dropped after the plan was
+// built, or a rogue driver oversubscribed — is skipped, not started: the
+// job stays waiting and the next replanning event reschedules it. This
+// graceful degradation replaces a former panic. Callers hold the lock.
 func (s *Scheduler) startDue() {
 	if s.plan == nil {
 		return
+	}
+	used := 0
+	for _, r := range s.running {
+		used += r.Job.Width
 	}
 	for _, e := range s.plan.Entries {
 		if e.Start != s.now {
@@ -355,13 +643,8 @@ func (s *Scheduler) startDue() {
 		if info == nil || info.State != StateWaiting {
 			continue
 		}
-		used := 0
-		for _, r := range s.running {
-			used += r.Job.Width
-		}
-		if used+e.Job.Width > s.capacity {
-			panic(fmt.Sprintf("rms: starting job %d would use %d of %d processors",
-				e.Job.ID, used+e.Job.Width, s.capacity))
+		if used+e.Job.Width > s.effective() {
+			continue
 		}
 		for i, wj := range s.waiting {
 			if wj.ID == e.Job.ID {
@@ -370,6 +653,7 @@ func (s *Scheduler) startDue() {
 			}
 		}
 		s.running = append(s.running, plan.Running{Job: e.Job, Start: s.now})
+		used += e.Job.Width
 		info.State = StateRunning
 		info.Started = s.now
 	}
@@ -378,22 +662,28 @@ func (s *Scheduler) startDue() {
 // Status is a snapshot of the whole system.
 type Status struct {
 	Now          int64
-	Capacity     int
+	Capacity     int // installed processors
+	FailedProcs  int // processors currently out of service
 	UsedProcs    int
 	ActivePolicy policy.Policy
 	Scheduler    string
 	Waiting      []JobInfo // in planned-start order
 	Running      []JobInfo // in start order
-	Finished     int       // completed + killed so far
+	Finished     int       // completed + killed + failed so far
 }
 
 // Status returns a consistent snapshot.
 func (s *Scheduler) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.statusLocked()
+}
+
+func (s *Scheduler) statusLocked() Status {
 	st := Status{
 		Now:          s.now,
 		Capacity:     s.capacity,
+		FailedProcs:  s.failed,
 		ActivePolicy: s.driver.ActivePolicy(),
 		Scheduler:    s.driver.Name(),
 		Finished:     len(s.done),
@@ -425,10 +715,69 @@ func (s *Scheduler) Job(id job.ID) (JobInfo, error) {
 	return JobInfo{}, fmt.Errorf("rms: unknown job %d", id)
 }
 
-// Finished returns the jobs that completed or were killed, in finish
-// order.
+// Finished returns the jobs that completed, were killed, or died to a
+// capacity failure, in finish order.
 func (s *Scheduler) Finished() []JobInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]JobInfo(nil), s.done...)
+}
+
+// CheckInvariants verifies the scheduler's internal consistency: the
+// running set fits the effective capacity, every queue entry has a
+// matching info in the matching state, and no job is both waiting and
+// running. It exists for tests and the chaos harness; a healthy
+// scheduler always returns nil.
+func (s *Scheduler) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed < 0 || s.failed > s.capacity {
+		return fmt.Errorf("rms: %d failed processors out of [0, %d]", s.failed, s.capacity)
+	}
+	used := 0
+	runningIDs := make(map[job.ID]struct{}, len(s.running))
+	for _, r := range s.running {
+		if _, dup := runningIDs[r.Job.ID]; dup {
+			return fmt.Errorf("rms: job %d running twice", r.Job.ID)
+		}
+		runningIDs[r.Job.ID] = struct{}{}
+		used += r.Job.Width
+		info, ok := s.infos[r.Job.ID]
+		if !ok || info.State != StateRunning {
+			return fmt.Errorf("rms: running job %d has no running info", r.Job.ID)
+		}
+	}
+	if used > s.effective() {
+		return fmt.Errorf("rms: %d processors in use exceed effective capacity %d",
+			used, s.effective())
+	}
+	for _, w := range s.waiting {
+		if _, alsoRunning := runningIDs[w.ID]; alsoRunning {
+			return fmt.Errorf("rms: job %d both waiting and running", w.ID)
+		}
+		info, ok := s.infos[w.ID]
+		if !ok || info.State != StateWaiting {
+			return fmt.Errorf("rms: waiting job %d has no waiting info", w.ID)
+		}
+	}
+	for id, info := range s.infos {
+		switch info.State {
+		case StateWaiting:
+			found := false
+			for _, w := range s.waiting {
+				if w.ID == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("rms: job %d marked waiting but not queued", id)
+			}
+		case StateRunning:
+			if _, ok := runningIDs[id]; !ok {
+				return fmt.Errorf("rms: job %d marked running but not on the machine", id)
+			}
+		}
+	}
+	return nil
 }

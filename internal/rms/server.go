@@ -3,10 +3,12 @@ package rms
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"dynp/internal/job"
 )
@@ -25,6 +27,8 @@ import (
 //	{"op":"finished"}
 //	{"op":"report"}             metrics over finished jobs (SLDwA, util, ...)
 //	{"op":"tick","to":5000}     advance the virtual clock (virtual mode)
+//	{"op":"fail","procs":8}     take processors out of service (operator op)
+//	{"op":"restore","procs":8}  return failed processors to service
 //
 // Responses carry {"ok":true,...} or {"ok":false,"error":"..."}.
 type Server struct {
@@ -32,10 +36,14 @@ type Server struct {
 	// AllowTick enables the "tick" op; a real-time daemon drives the
 	// clock itself and rejects client ticks.
 	AllowTick bool
+	// IdleTimeout bounds how long a connection may sit between requests
+	// before the server drops it (0 = no limit). Set it before Listen.
+	IdleTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
+	draining bool
 	wg       sync.WaitGroup
 }
 
@@ -51,9 +59,11 @@ type Request struct {
 	Estimate int64  `json:"estimate,omitempty"`
 	ID       int64  `json:"id,omitempty"`
 	To       int64  `json:"to,omitempty"`
+	Procs    int    `json:"procs,omitempty"`
 }
 
-// Response is one protocol response.
+// Response is one protocol response. Now is always present — "now":0 at
+// t=0 is a real clock reading, not an absent field.
 type Response struct {
 	OK       bool      `json:"ok"`
 	Error    string    `json:"error,omitempty"`
@@ -61,12 +71,12 @@ type Response struct {
 	Status   *Status   `json:"status,omitempty"`
 	Finished []JobInfo `json:"finished,omitempty"`
 	Report   *Report   `json:"report,omitempty"`
-	Now      int64     `json:"now,omitempty"`
+	Now      int64     `json:"now"`
 }
 
 // Handle executes one request against the scheduler.
 func (sv *Server) Handle(req Request) Response {
-	fail := func(err error) Response { return Response{Error: err.Error()} }
+	fail := func(err error) Response { return Response{Error: err.Error(), Now: sv.sched.Now()} }
 	switch req.Op {
 	case "submit":
 		info, err := sv.sched.Submit(req.Width, req.Estimate)
@@ -107,17 +117,46 @@ func (sv *Server) Handle(req Request) Response {
 			return fail(err)
 		}
 		return Response{OK: true, Now: sv.sched.Now()}
+	case "fail":
+		if err := sv.sched.Fail(req.Procs); err != nil {
+			return fail(err)
+		}
+		st := sv.sched.Status()
+		return Response{OK: true, Status: &st, Now: st.Now}
+	case "restore":
+		if err := sv.sched.Restore(req.Procs); err != nil {
+			return fail(err)
+		}
+		st := sv.sched.Status()
+		return Response{OK: true, Status: &st, Now: st.Now}
 	default:
 		return fail(fmt.Errorf("rms: unknown op %q", req.Op))
 	}
 }
 
-// ServeConn speaks the protocol on one connection until EOF.
+// readDeadliner is the subset of net.Conn the server needs for idle
+// timeouts and drain wake-ups; plain io.ReadWriters (tests, pipes
+// without deadlines) simply serve without them.
+type readDeadliner interface {
+	SetReadDeadline(time.Time) error
+}
+
+// ServeConn speaks the protocol on one connection until EOF, the idle
+// timeout, or a server drain. An oversized request line (beyond the
+// 64 KiB protocol limit) is answered with an explicit error response
+// before the connection closes, instead of dying silently.
 func (sv *Server) ServeConn(conn io.ReadWriter) error {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<16)
 	enc := json.NewEncoder(conn)
-	for sc.Scan() {
+	dl, hasDeadline := conn.(readDeadliner)
+	for {
+		if hasDeadline && sv.IdleTimeout > 0 {
+			_ = dl.SetReadDeadline(time.Now().Add(sv.IdleTimeout))
+		}
+		if !sc.Scan() {
+			break
+		}
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
@@ -125,15 +164,35 @@ func (sv *Server) ServeConn(conn io.ReadWriter) error {
 		var req Request
 		var resp Response
 		if err := json.Unmarshal(line, &req); err != nil {
-			resp = Response{Error: fmt.Sprintf("rms: bad request: %v", err)}
+			resp = Response{Error: fmt.Sprintf("rms: bad request: %v", err), Now: sv.sched.Now()}
 		} else {
 			resp = sv.Handle(req)
 		}
 		if err := enc.Encode(resp); err != nil {
 			return err
 		}
+		if sv.isDraining() {
+			// Graceful drain: the request in flight got its response;
+			// stop before reading the next one.
+			return nil
+		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			_ = enc.Encode(Response{
+				Error: "rms: request exceeds the 64 KiB line limit",
+				Now:   sv.sched.Now(),
+			})
+		}
+		return err
+	}
+	return nil
+}
+
+func (sv *Server) isDraining() bool {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.draining
 }
 
 // Listen serves the protocol on a TCP address until Close is called. It
@@ -158,6 +217,11 @@ func (sv *Server) Listen(addr string) (net.Addr, error) {
 				return // listener closed
 			}
 			sv.mu.Lock()
+			if sv.draining {
+				sv.mu.Unlock()
+				conn.Close()
+				continue
+			}
 			sv.conns[conn] = struct{}{}
 			sv.mu.Unlock()
 			sv.wg.Add(1)
@@ -176,13 +240,17 @@ func (sv *Server) Listen(addr string) (net.Addr, error) {
 	return l.Addr(), nil
 }
 
-// Close stops the listener, disconnects clients and waits for handlers.
+// Close stops the listener and drains gracefully: requests already in
+// flight get their responses, blocked reads are woken by an immediate
+// read deadline, and every handler has exited — and closed its
+// connection — before Close returns.
 func (sv *Server) Close() error {
 	sv.mu.Lock()
 	l := sv.listener
 	sv.listener = nil
+	sv.draining = true
 	for c := range sv.conns {
-		c.Close()
+		_ = c.SetReadDeadline(time.Now())
 	}
 	sv.mu.Unlock()
 	var err error

@@ -28,6 +28,12 @@ type (
 	// OnlineReport is the online scheduler's self-assessment (SLDwA,
 	// utilization, ...) over finished jobs.
 	OnlineReport = rms.Report
+	// OnlineJournal is the write-ahead event journal that makes an
+	// online scheduler crash-safe (see dynpd -journal).
+	OnlineJournal = rms.Journal
+	// VictimPolicy orders running jobs for termination when processor
+	// failures shrink the machine below the running set's footprint.
+	VictimPolicy = rms.VictimPolicy
 	// GanttChart is a processor-time occupancy chart of a completed
 	// run.
 	GanttChart = gantt.Chart
@@ -39,7 +45,29 @@ const (
 	StateRunning   = rms.StateRunning
 	StateCompleted = rms.StateCompleted
 	StateKilled    = rms.StateKilled
+	// StateFailed marks a job killed because its processors failed, not
+	// because its estimate expired.
+	StateFailed = rms.StateFailed
 )
+
+// NeverStart is the planned-start sentinel of a waiting job that cannot
+// run until failed processors are restored.
+const NeverStart = rms.NeverStart
+
+// Victim orderings for capacity failures.
+var (
+	// VictimLastStarted (the default) kills the most recently started
+	// jobs first, preserving the longest-running work.
+	VictimLastStarted VictimPolicy = rms.VictimLastStarted
+	// VictimWidestFirst kills the widest jobs first, minimising the
+	// number of jobs lost.
+	VictimWidestFirst VictimPolicy = rms.VictimWidestFirst
+)
+
+// OpenOnlineJournal opens (or creates) a write-ahead journal file,
+// recovering the longest valid prefix after a crash. Replay it into a
+// fresh scheduler, then attach it with SetJournal.
+func OpenOnlineJournal(path string) (*OnlineJournal, error) { return rms.OpenJournal(path) }
 
 // NewOnlineScheduler returns an online RMS core for a machine with the
 // given capacity using the given scheduler, with the clock at startTime.

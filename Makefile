@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test race soak bench bench-smoke bench-tuner fuzz repro repro-full ablations clean
+.PHONY: all ci build vet fmt-check test race soak bench bench-smoke bench-tuner fuzz repro repro-full ablations golden golden-check golden-check-full clean
 
 all: build vet test
 
@@ -67,5 +67,28 @@ repro-full:
 ablations:
 	$(GO) run ./cmd/paper -ablation all -shrinks 1.0,0.8
 
+# Regenerate the committed golden outputs after an *intentional*
+# behavioural change (reduced scale ~4 min, full scale ~50 min on one
+# core). Refactors must leave both files byte-identical instead.
+golden:
+	$(GO) run ./cmd/paper > paper_output.txt
+	$(GO) run ./cmd/paper -full > paper_output_full.txt
+
+# Byte-compare a fresh reduced-scale run of cmd/paper against the
+# committed golden output: any change to scheduling behaviour — however
+# small — fails here. CI runs this on every push.
+golden-check:
+	$(GO) run ./cmd/paper > paper_output.check.txt
+	cmp paper_output.check.txt paper_output.txt
+	rm -f paper_output.check.txt
+
+# Paper-scale variant of golden-check (~50 minutes; the CI workflow runs
+# it on schedule and on manual dispatch rather than per push).
+golden-check-full:
+	$(GO) run ./cmd/paper -full > paper_output_full.check.txt
+	cmp paper_output_full.check.txt paper_output_full.txt
+	rm -f paper_output_full.check.txt
+
 clean:
 	$(GO) clean ./...
+	rm -f paper_output.check.txt paper_output_full.check.txt

@@ -11,6 +11,8 @@
 //	dynpctl tick -to 7200
 //	dynpctl finished
 //	dynpctl fail -procs 8        # take processors out of service
+//	dynpctl trace -n 20          # recent engine transitions
+//	dynpctl metrics              # lifetime engine metrics
 //	dynpctl restore -procs 8     # bring them back
 package main
 
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"dynp/internal/job"
@@ -36,6 +39,7 @@ func main() {
 	id := fs.Int64("id", 0, "job id (done/cancel/job)")
 	to := fs.Int64("to", 0, "virtual time to advance to (tick)")
 	procs := fs.Int("procs", 1, "processors to fail/restore")
+	n := fs.Int("n", 0, "engine events to fetch (trace; 0 = all buffered)")
 	timeout := fs.Duration("timeout", rms.DefaultCallTimeout, "per-call deadline (negative disables)")
 	retries := fs.Int("retries", rms.DefaultRetries, "extra attempts for read-only calls on network failure")
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -124,14 +128,63 @@ func main() {
 		fmt.Printf("t=%d: %d finished jobs (%d killed at estimate)\n", rep.Now, rep.Jobs, rep.Killed)
 		fmt.Printf("SLDwA %.3f  utilization %.2f%%  ART %.0f s  AWT %.0f s  max wait %d s\n",
 			rep.SLDwA, 100*rep.Util, rep.ART, rep.AWT, rep.MaxWait)
+	case "trace":
+		evs, err := c.Trace(*n)
+		fail(err)
+		for _, ev := range evs {
+			fmt.Printf("#%-6d t=%-8d %-13s", ev.Seq, ev.Time, ev.Kind)
+			if ev.Job != 0 {
+				fmt.Printf(" job %-5d", ev.Job)
+			}
+			fmt.Printf(" queued %-4d running %-4d used %-4d policy %s", ev.Queued, ev.Running, ev.Used, ev.Policy)
+			if ev.Case != "" {
+				fmt.Printf(" case %s", ev.Case)
+			}
+			if ev.PlanNs > 0 {
+				fmt.Printf(" plan %s", time.Duration(ev.PlanNs))
+			}
+			fmt.Println()
+		}
+	case "metrics":
+		m, err := c.Metrics()
+		fail(err)
+		fmt.Printf("events:")
+		for _, k := range sortedKeys(m.Events) {
+			fmt.Printf("  %s %d", k, m.Events[k])
+		}
+		fmt.Println()
+		if m.Plans > 0 {
+			fmt.Printf("planning: %d events, mean %s, max %s\n", m.Plans,
+				time.Duration(m.PlanNsTotal/m.Plans), time.Duration(m.PlanNsMax))
+		}
+		if len(m.Cases) > 0 {
+			fmt.Printf("decision cases:")
+			for _, k := range sortedKeys(m.Cases) {
+				fmt.Printf("  %s %d", k, m.Cases[k])
+			}
+			fmt.Println()
+		}
+		if m.Dropped > 0 {
+			fmt.Printf("trace ring dropped %d events\n", m.Dropped)
+		}
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dynpctl <submit|done|cancel|job|status|tick|finished|report|fail|restore> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dynpctl <submit|done|cancel|job|status|tick|finished|report|fail|restore|trace|metrics> [flags]")
 	os.Exit(2)
+}
+
+// sortedKeys returns the map's keys in lexical order for stable output.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func fail(err error) {

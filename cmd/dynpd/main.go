@@ -51,6 +51,8 @@ func main() {
 			"write-ahead event journal; an existing journal is replayed on startup, restoring pre-crash state")
 		idleTimeout = flag.Duration("idle-timeout", 0,
 			"drop client connections idle longer than this (0 = keep forever)")
+		traceLen = flag.Int("trace", 512,
+			"engine event trace: ring-buffer length backing the 'trace' and 'metrics' ops (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,15 @@ func main() {
 	fail(err)
 	sched, err := rms.New(*procs, spec.New(), 0)
 	fail(err)
+
+	// Attach the engine observer before journal replay so the trace and
+	// metrics cover the replayed history too, exactly as if the daemon
+	// had never crashed.
+	var trace *rms.EventTrace
+	if *traceLen > 0 {
+		trace = rms.NewEventTrace(*traceLen)
+		sched.AddObserver(trace)
+	}
 
 	if *journalPath != "" {
 		journal, err := rms.OpenJournal(*journalPath)
@@ -74,6 +85,7 @@ func main() {
 
 	server := rms.NewServer(sched, *timescale == 0)
 	server.IdleTimeout = *idleTimeout
+	server.Trace = trace
 	bound, err := server.Listen(*addr)
 	fail(err)
 	fmt.Fprintf(os.Stderr, "dynpd: %s scheduling %d processors on %s (clock: %s)\n",

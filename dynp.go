@@ -28,6 +28,7 @@ import (
 	"io"
 
 	"dynp/internal/core"
+	"dynp/internal/engine"
 	"dynp/internal/job"
 	"dynp/internal/metrics"
 	"dynp/internal/policy"
@@ -214,6 +215,58 @@ func Simulate(set *JobSet, s Scheduler) (*Result, error) { return sim.Run(set, s
 // machine state (slower; for debugging and tests).
 func SimulateVerified(set *JobSet, s Scheduler) (*Result, error) {
 	return sim.Run(set, s, sim.WithVerify())
+}
+
+// Structured observation: both the simulator and the online RMS run on
+// one scheduling engine (internal/engine), which reports every
+// transition — submissions, starts, completions, kills, and one plan
+// event per scheduling step with queue depth, active policy, Table-1
+// decision case and planning latency — to attached observers.
+type (
+	// EngineEvent is one observed scheduling-engine transition.
+	EngineEvent = engine.Event
+	// EngineEventKind classifies an EngineEvent.
+	EngineEventKind = engine.EventKind
+	// EngineObserver receives every engine transition, synchronously,
+	// in order.
+	EngineObserver = engine.Observer
+	// SimOption configures a SimulateWith run.
+	SimOption = sim.Option
+)
+
+// The engine event kinds.
+const (
+	EventSubmit       = engine.EventSubmit
+	EventStart        = engine.EventStart
+	EventFinish       = engine.EventFinish
+	EventKill         = engine.EventKill
+	EventJobFail      = engine.EventJobFail
+	EventCancel       = engine.EventCancel
+	EventProcsFail    = engine.EventProcsFail
+	EventProcsRestore = engine.EventProcsRestore
+	EventPlan         = engine.EventPlan
+)
+
+// ObserverFunc adapts a function to the EngineObserver interface.
+func ObserverFunc(f func(EngineEvent)) EngineObserver { return engine.ObserverFunc(f) }
+
+// WithObserver attaches an engine observer to a simulation run.
+func WithObserver(o EngineObserver) SimOption { return sim.WithObserver(o) }
+
+// WithVerify re-verifies every schedule against the machine state
+// (slower; for debugging and tests).
+func WithVerify() SimOption { return sim.WithVerify() }
+
+// WithQueueProbe invokes probe after every scheduling event with the
+// current time and waiting-queue length, for queue-dynamics analyses.
+func WithQueueProbe(probe func(now int64, queued int)) SimOption {
+	return sim.WithQueueProbe(probe)
+}
+
+// SimulateWith runs a job set to completion under the given scheduler
+// with per-run options (observers, verification, queue probes).
+func SimulateWith(set *JobSet, s Scheduler, opts ...SimOption) (*Result, error) {
+	return sim.Run(set, s, opts...)
 }
 
 // Evaluation metrics (paper, Section 4.1).

@@ -39,6 +39,8 @@ type SelfTuner struct {
 	stats      Stats
 	trace      []Decision // populated only when Trace is enabled
 	traceOn    bool
+	last       Decision // most recent decision, kept regardless of tracing
+	hasLast    bool
 	workers    int // bound on concurrent candidate builds; <= 1 = sequential
 }
 
@@ -111,6 +113,24 @@ func (t *SelfTuner) EnableTrace() { t.traceOn = true }
 
 // Trace returns the recorded decisions (nil unless EnableTrace was called).
 func (t *SelfTuner) Trace() []Decision { return t.trace }
+
+// LastDecision returns the most recent self-tuning decision and whether
+// one has been made. Unlike Trace it is always available.
+func (t *SelfTuner) LastDecision() (Decision, bool) { return t.last, t.hasLast }
+
+// LastDecisionCase classifies the most recent decision as one of the
+// paper's Table-1 cases (see CaseOf). It returns "" before the first
+// decision or when the candidate set is not the paper's FCFS/SJF/LJF
+// triple, whose value patterns the table enumerates.
+func (t *SelfTuner) LastDecisionCase() string {
+	if !t.hasLast || len(t.last.Values) != 3 {
+		return ""
+	}
+	if t.candidates[0] != policy.FCFS || t.candidates[1] != policy.SJF || t.candidates[2] != policy.LJF {
+		return ""
+	}
+	return CaseOf(t.last.Old, t.last.Values[0], t.last.Values[1], t.last.Values[2])
+}
 
 // Stats returns the aggregated decision statistics so far.
 func (t *SelfTuner) Stats() Stats {
@@ -187,6 +207,10 @@ func (t *SelfTuner) Plan(now int64, capacity int, running []plan.Running, waitin
 	if chosen != t.active {
 		t.stats.Switches++
 	}
+	// values is built fresh every step and escapes only here, so the
+	// last decision can retain it without a copy.
+	t.last = Decision{Time: now, Old: t.active, Chosen: chosen, Values: values}
+	t.hasLast = true
 	if t.traceOn {
 		t.trace = append(t.trace, Decision{
 			Time: now, Old: t.active, Chosen: chosen,

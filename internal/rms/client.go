@@ -328,3 +328,26 @@ func (c *Client) Restore(procs int) (Status, error) {
 	}
 	return *resp.Status, nil
 }
+
+// Trace fetches the last n engine transitions from the server's event
+// trace (0 = all buffered). Idempotent: retried on network failures.
+func (c *Client) Trace(n int) ([]TraceEvent, error) {
+	resp, err := c.call(Request{Op: "trace", N: n}, true)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Trace, nil
+}
+
+// Metrics fetches the server's lifetime engine metrics. Idempotent:
+// retried on network failures.
+func (c *Client) Metrics() (EngineMetrics, error) {
+	resp, err := c.call(Request{Op: "metrics"}, true)
+	if err != nil {
+		return EngineMetrics{}, err
+	}
+	if resp.Metrics == nil {
+		return EngineMetrics{}, fmt.Errorf("rms: metrics: empty response")
+	}
+	return *resp.Metrics, nil
+}

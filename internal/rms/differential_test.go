@@ -1,0 +1,184 @@
+package rms
+
+// Differential test of the shared scheduling engine: the same SWF
+// workload runs once through the offline simulator (sim.Run) and once
+// through the online scheduler, fed by Deliver batches at exactly the
+// simulator's event instants. Because both front ends delegate every
+// transition to internal/engine, each job must start and finish at
+// identical times and the self-tuning decider must take an identical
+// decision trace — for all three deciders of the paper. The online
+// trace carries one extra leading decision from the construction-time
+// replan, whose outcome (the initial active policy) is decider-specific;
+// every subsequent decision must match the offline one exactly.
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"dynp/internal/core"
+	"dynp/internal/job"
+	"dynp/internal/policy"
+	"dynp/internal/rng"
+	"dynp/internal/sim"
+	"dynp/internal/swf"
+)
+
+// differentialWorkload builds a random workload and round-trips it
+// through SWF, the interchange format both tools consume in practice.
+// Runtimes are drawn up to the estimate, so some jobs exercise the
+// client-completion path and some the RMS kill-at-estimate path.
+func differentialWorkload(t *testing.T) *job.Set {
+	t.Helper()
+	r := rng.New(0x5eed)
+	const n, machine = 120, 16
+	src := &job.Set{Name: "diff", Machine: machine}
+	var clock int64
+	for i := 0; i < n; i++ {
+		clock += int64(r.Intn(40))
+		est := int64(1 + r.Intn(150))
+		src.Jobs = append(src.Jobs, &job.Job{
+			ID: job.ID(i + 1), Submit: clock,
+			Width: 1 + r.Intn(machine), Estimate: est, Runtime: 1 + r.Int63n(est),
+		})
+	}
+	var buf bytes.Buffer
+	if err := swf.Write(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	set, err := swf.Read(&buf, swf.ReadOptions{Name: "diff", Machine: machine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Jobs) != n {
+		t.Fatalf("SWF round trip kept %d of %d jobs", len(set.Jobs), n)
+	}
+	return set
+}
+
+func TestDifferentialSimVsRMS(t *testing.T) {
+	set := differentialWorkload(t)
+	deciders := []struct {
+		name string
+		mk   func() core.Decider
+	}{
+		{"simple", func() core.Decider { return core.Simple{} }},
+		{"advanced", func() core.Decider { return core.Advanced{} }},
+		{"preferred-sjf", func() core.Decider { return core.Preferred{Policy: policy.SJF} }},
+	}
+	for _, d := range deciders {
+		t.Run(d.name, func(t *testing.T) { runDifferential(t, set, d.mk) })
+	}
+}
+
+func runDifferential(t *testing.T, set *job.Set, mkDecider func() core.Decider) {
+	offDrv := sim.NewDynP(mkDecider())
+	offDrv.Tuner.EnableTrace()
+	offline, err := sim.Run(set, offDrv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := make(map[job.ID]int64, len(set.Jobs))
+	finish := make(map[job.ID]int64, len(set.Jobs))
+	for _, rec := range offline.Records {
+		start[rec.Job.ID] = rec.Start
+		finish[rec.Job.ID] = rec.Finish
+	}
+
+	onDrv := sim.NewDynP(mkDecider())
+	onDrv.Tuner.EnableTrace()
+	online, err := New(set.Machine, onDrv, offline.First)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The simulator replans at every distinct submission or completion
+	// instant; deliver one batch per such instant so the online side
+	// takes exactly the same replanning steps. Jobs that exhaust their
+	// estimate get no client completion — Deliver's kill sweep must
+	// terminate them at the very same instant.
+	instantSet := make(map[int64]struct{})
+	for _, j := range set.Jobs {
+		instantSet[j.Submit] = struct{}{}
+		instantSet[finish[j.ID]] = struct{}{}
+	}
+	instants := make([]int64, 0, len(instantSet))
+	for ti := range instantSet {
+		instants = append(instants, ti)
+	}
+	sort.Slice(instants, func(a, b int) bool { return instants[a] < instants[b] })
+
+	onlineID := make(map[job.ID]job.ID, len(set.Jobs)) // set job -> online job
+	subIdx := 0
+	for _, now := range instants {
+		var done []job.ID
+		for _, j := range set.Jobs {
+			if j.Runtime < j.Estimate && finish[j.ID] == now {
+				done = append(done, onlineID[j.ID])
+			}
+		}
+		var subs []Submission
+		var subJobs []job.ID
+		for ; subIdx < len(set.Jobs) && set.Jobs[subIdx].Submit == now; subIdx++ {
+			j := set.Jobs[subIdx]
+			subs = append(subs, Submission{Width: j.Width, Estimate: j.Estimate})
+			subJobs = append(subJobs, j.ID)
+		}
+		infos, err := online.Deliver(now, done, subs)
+		if err != nil {
+			t.Fatalf("deliver at t=%d: %v", now, err)
+		}
+		for i, info := range infos {
+			onlineID[subJobs[i]] = info.ID
+		}
+	}
+
+	if got := len(online.Finished()); got != len(set.Jobs) {
+		t.Fatalf("online finished %d of %d jobs", got, len(set.Jobs))
+	}
+	for _, j := range set.Jobs {
+		info, err := online.Job(onlineID[j.ID])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Started != start[j.ID] || info.Finished != finish[j.ID] {
+			t.Errorf("job %d: online ran [%d, %d], offline [%d, %d]",
+				j.ID, info.Started, info.Finished, start[j.ID], finish[j.ID])
+		}
+		wantState := StateCompleted
+		if j.Runtime == j.Estimate {
+			wantState = StateKilled
+		}
+		if info.State != wantState {
+			t.Errorf("job %d: online state %s, want %s", j.ID, info.State, wantState)
+		}
+	}
+
+	offT, onT := offDrv.Tuner.Trace(), onDrv.Tuner.Trace()
+	if len(onT) != len(offT)+1 {
+		t.Fatalf("decision traces: online took %d steps, offline %d (want offline+1 for the construction replan)",
+			len(onT), len(offT))
+	}
+	for i, a := range offT {
+		b := onT[i+1]
+		if a.Time != b.Time || a.Chosen != b.Chosen {
+			t.Fatalf("decision %d: offline t=%d %s->%s, online t=%d %s->%s",
+				i, a.Time, a.Old, a.Chosen, b.Time, b.Old, b.Chosen)
+		}
+		// The first offline Old is the tuner's initial policy; the online
+		// side already took its construction decision by then, so Old is
+		// only comparable from the second shared step on.
+		if i > 0 && a.Old != b.Old {
+			t.Fatalf("decision %d: offline old policy %s, online %s", i, a.Old, b.Old)
+		}
+		if len(a.Values) != len(b.Values) {
+			t.Fatalf("decision %d: %d offline scores, %d online", i, len(a.Values), len(b.Values))
+		}
+		for k := range a.Values {
+			if a.Values[k] != b.Values[k] {
+				t.Fatalf("decision %d, candidate %d: offline score %v, online %v",
+					i, k, a.Values[k], b.Values[k])
+			}
+		}
+	}
+}

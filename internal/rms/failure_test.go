@@ -379,12 +379,14 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 	if err := s.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt deliberately: a second copy of the running job.
+	// Corrupt deliberately: the info lifecycle contradicts the engine's
+	// queues. (Engine-internal corruption, such as a duplicated running
+	// entry, is covered by the engine's own invariant tests.)
 	s.mu.Lock()
-	s.running = append(s.running, s.running[0])
+	s.infos[1].State = StateWaiting
 	s.mu.Unlock()
 	if err := s.CheckInvariants(); err == nil {
-		t.Fatal("duplicated running job not detected")
+		t.Fatal("contradictory job state not detected")
 	}
 }
 

@@ -85,9 +85,9 @@ type snapshotState struct {
 // scheduler lock.
 func (s *Scheduler) snapshotLocked() snapshotState {
 	return snapshotState{
-		Now:      s.now,
+		Now:      s.eng.Now(),
 		NextID:   int64(s.nextID),
-		Failed:   s.failed,
+		Failed:   s.eng.FailedProcs(),
 		Status:   s.statusLocked(),
 		Finished: append([]JobInfo{}, s.done...),
 	}
@@ -337,7 +337,7 @@ func (j *Journal) Replay(s *Scheduler) (int, error) {
 	s.mu.Lock()
 	attached := s.journal
 	virgin := s.nextID == 0 && len(s.done) == 0
-	capacity, name, now := s.capacity, s.driver.Name(), s.now
+	capacity, name, now := s.eng.Capacity(), s.driver.Name(), s.eng.Now()
 	s.mu.Unlock()
 	if attached != nil {
 		return 0, fmt.Errorf("rms: journal: replay into a journaled scheduler would re-append every event")

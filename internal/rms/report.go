@@ -22,7 +22,7 @@ type Report struct {
 func (s *Scheduler) Report() Report {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rep := Report{Now: s.now, Jobs: len(s.done)}
+	rep := Report{Now: s.eng.Now(), Jobs: len(s.done)}
 	if len(s.done) == 0 {
 		return rep
 	}
@@ -65,7 +65,7 @@ func (s *Scheduler) Report() Report {
 	rep.FirstSub = first
 	rep.LastFinish = last
 	if span := last - first; span > 0 {
-		rep.Util = area / (float64(s.capacity) * float64(span))
+		rep.Util = area / (float64(s.eng.Capacity()) * float64(span))
 	}
 	return rep
 }

@@ -10,12 +10,17 @@
 // the core fully deterministic and testable; a real-time front end (see
 // cmd/dynpd) simply calls Advance from a wall-clock ticker.
 //
-// The scheduler survives the failure classes a real cluster sees:
-// processors can fail and be restored at run time (Fail/Restore), with a
-// configurable victim policy deciding which running jobs die when the
-// machine shrinks under them, and every external event can be recorded in
-// a crash-safe write-ahead journal (see journal.go) whose replay rebuilds
-// identical state after a daemon crash.
+// The schedule mechanics — machine state, replan-and-launch, kill and
+// victim transitions — live in internal/engine, shared with the offline
+// simulator, so the simulator-tested logic and the crash-safe online
+// logic are one implementation. This package is the concurrency, journal
+// and protocol shell around that engine: it serialises access, keeps the
+// externally visible JobInfo lifecycle, and records every external event
+// in an optional crash-safe write-ahead journal (see journal.go) whose
+// replay rebuilds identical state after a daemon crash. Processors can
+// fail and be restored at run time (Fail/Restore), with a configurable
+// victim policy deciding which running jobs die when the machine shrinks
+// under them.
 package rms
 
 import (
@@ -23,6 +28,7 @@ import (
 	"sort"
 	"sync"
 
+	"dynp/internal/engine"
 	"dynp/internal/job"
 	"dynp/internal/plan"
 	"dynp/internal/policy"
@@ -74,54 +80,30 @@ type JobInfo struct {
 // failure leaves the machine oversubscribed: victims are killed from the
 // front of the returned slice until the remaining jobs fit the effective
 // capacity. The input slice is a copy; the policy may reorder it freely.
-type VictimPolicy func(now int64, running []plan.Running) []plan.Running
+type VictimPolicy = engine.VictimPolicy
 
-// VictimLastStarted kills the most recently started jobs first (ties
-// broken by higher ID first), minimising the amount of finished work a
-// capacity failure destroys. It is the default.
-func VictimLastStarted(now int64, running []plan.Running) []plan.Running {
-	sort.Slice(running, func(i, j int) bool {
-		if running[i].Start != running[j].Start {
-			return running[i].Start > running[j].Start
-		}
-		return running[i].Job.ID > running[j].Job.ID
-	})
-	return running
-}
-
-// VictimWidestFirst kills the widest jobs first (ties broken by later
-// start, then higher ID), freeing the most processors per kill.
-func VictimWidestFirst(now int64, running []plan.Running) []plan.Running {
-	sort.Slice(running, func(i, j int) bool {
-		if running[i].Job.Width != running[j].Job.Width {
-			return running[i].Job.Width > running[j].Job.Width
-		}
-		if running[i].Start != running[j].Start {
-			return running[i].Start > running[j].Start
-		}
-		return running[i].Job.ID > running[j].Job.ID
-	})
-	return running
-}
+// Victim orderings for capacity failures (see internal/engine).
+var (
+	// VictimLastStarted kills the most recently started jobs first (ties
+	// broken by higher ID first), minimising the amount of finished work
+	// a capacity failure destroys. It is the default.
+	VictimLastStarted VictimPolicy = engine.VictimLastStarted
+	// VictimWidestFirst kills the widest jobs first (ties broken by
+	// later start, then higher ID), freeing the most processors per kill.
+	VictimWidestFirst VictimPolicy = engine.VictimWidestFirst
+)
 
 // Scheduler is an online planning-based RMS core. Create with New; all
 // methods are safe for concurrent use.
 type Scheduler struct {
-	mu       sync.Mutex
-	capacity int // installed processors
-	failed   int // processors currently failed
-	driver   sim.Driver
-	now      int64
-	nextID   job.ID
-	victims  VictimPolicy
-	journal  *Journal
+	mu      sync.Mutex
+	eng     *engine.Engine
+	driver  sim.Driver
+	nextID  job.ID
+	journal *Journal
 
-	waiting []*job.Job
-	running []plan.Running
-	infos   map[job.ID]*JobInfo
-	plan    *plan.Schedule
-
-	done []JobInfo // completed, killed and failed jobs, in finish order
+	infos map[job.ID]*JobInfo
+	done  []JobInfo // completed, killed and failed jobs, in finish order
 }
 
 // New returns an online scheduler for a machine with the given capacity,
@@ -135,15 +117,60 @@ func New(capacity int, driver sim.Driver, startTime int64) (*Scheduler, error) {
 		return nil, fmt.Errorf("rms: nil driver")
 	}
 	s := &Scheduler{
-		capacity: capacity,
-		driver:   driver,
-		now:      startTime,
-		victims:  VictimLastStarted,
-		infos:    make(map[job.ID]*JobInfo),
+		driver: driver,
+		infos:  make(map[job.ID]*JobInfo),
 	}
+	s.eng = engine.New(capacity, driver, startTime, engine.WithHooks(engine.Hooks{
+		Started:  s.onStarted,
+		Finished: s.onFinished,
+		Planned:  s.onPlanned,
+	}))
 	s.replan()
 	return s, nil
 }
+
+// onStarted keeps the JobInfo lifecycle in step with engine launches.
+// The engine calls it with the scheduler lock held.
+func (s *Scheduler) onStarted(j *job.Job, now int64) {
+	info := s.infos[j.ID]
+	info.State = StateRunning
+	info.Started = now
+}
+
+// onFinished records a job leaving the machine, whatever the reason.
+func (s *Scheduler) onFinished(j *job.Job, st engine.FinishState, now int64) {
+	info := s.infos[j.ID]
+	switch st {
+	case engine.FinishCompleted:
+		info.State = StateCompleted
+	case engine.FinishKilled:
+		info.State = StateKilled
+	case engine.FinishFailed:
+		info.State = StateFailed
+	}
+	info.Finished = now
+	s.done = append(s.done, *info)
+}
+
+// onPlanned refreshes the planned starts after every replanning step.
+// Unplaceable jobs (wider than the effective capacity) carry the
+// NeverStart sentinel until capacity returns.
+func (s *Scheduler) onPlanned(sched *plan.Schedule, unplaceable []*job.Job) {
+	if sched != nil {
+		for _, e := range sched.Entries {
+			if info, ok := s.infos[e.Job.ID]; ok && info.State == StateWaiting {
+				info.PlannedStart = e.Start
+			}
+		}
+	}
+	for _, j := range unplaceable {
+		s.infos[j.ID].PlannedStart = NeverStart
+	}
+}
+
+// replan runs one shared scheduling event. The engine's graceful launch
+// mode never returns an error. Callers hold the lock.
+func (s *Scheduler) replan() { _ = s.eng.Replan() }
 
 // SetVictimPolicy replaces the policy that picks which running jobs die
 // when a capacity failure oversubscribes the machine. A nil policy
@@ -151,10 +178,18 @@ func New(capacity int, driver sim.Driver, startTime int64) (*Scheduler, error) {
 func (s *Scheduler) SetVictimPolicy(p VictimPolicy) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if p == nil {
-		p = VictimLastStarted
-	}
-	s.victims = p
+	s.eng.SetVictimPolicy(p)
+}
+
+// AddObserver attaches an observer to the scheduling engine: it receives
+// every transition (submissions, starts, completions, kills, capacity
+// changes and one EventPlan per scheduling event) as structured
+// engine.Event values, synchronously under the scheduler lock. Observe
+// must not call back into the scheduler.
+func (s *Scheduler) AddObserver(o engine.Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng.AddObserver(o)
 }
 
 // SetJournal attaches a write-ahead journal: every subsequent external
@@ -170,9 +205,9 @@ func (s *Scheduler) SetJournal(j *Journal) error {
 	if j != nil && j.fresh() {
 		if err := j.writeHeader(journalHeader{
 			Version:   journalVersion,
-			Capacity:  s.capacity,
+			Capacity:  s.eng.Capacity(),
 			Scheduler: s.driver.Name(),
-			Start:     s.now,
+			Start:     s.eng.Now(),
 		}); err != nil {
 			return fmt.Errorf("rms: journal header: %w", err)
 		}
@@ -180,10 +215,6 @@ func (s *Scheduler) SetJournal(j *Journal) error {
 	s.journal = j
 	return nil
 }
-
-// effective returns the processors currently usable for planning.
-// Callers hold the lock.
-func (s *Scheduler) effective() int { return s.capacity - s.failed }
 
 // journalAppend records an external event ahead of applying it. On a
 // journal write error the event must not be applied — the journal is the
@@ -211,7 +242,7 @@ func (s *Scheduler) journalCheckpoint() {
 func (s *Scheduler) Now() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.now
+	return s.eng.Now()
 }
 
 // Submit enters a job (width processors for at most estimate seconds) at
@@ -222,8 +253,8 @@ func (s *Scheduler) Now() int64 {
 func (s *Scheduler) Submit(width int, estimate int64) (JobInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if width < 1 || width > s.capacity {
-		return JobInfo{}, fmt.Errorf("rms: width %d out of [1, %d]", width, s.capacity)
+	if width < 1 || width > s.eng.Capacity() {
+		return JobInfo{}, fmt.Errorf("rms: width %d out of [1, %d]", width, s.eng.Capacity())
 	}
 	if estimate < 1 {
 		return JobInfo{}, fmt.Errorf("rms: estimate %d < 1", estimate)
@@ -233,17 +264,17 @@ func (s *Scheduler) Submit(width int, estimate int64) (JobInfo, error) {
 	}
 	s.nextID++
 	j := &job.Job{
-		ID: s.nextID, Submit: s.now, Width: width,
+		ID: s.nextID, Submit: s.eng.Now(), Width: width,
 		Estimate: estimate,
 		// The actual run time is unknown online; the planner never
 		// reads it, but the job model requires validity.
 		Runtime: estimate,
 	}
-	s.waiting = append(s.waiting, j)
 	s.infos[j.ID] = &JobInfo{
 		ID: j.ID, Width: width, Estimate: estimate,
-		Submitted: s.now, State: StateWaiting,
+		Submitted: s.eng.Now(), State: StateWaiting,
 	}
+	s.eng.Submit(j)
 	s.replan()
 	info := *s.infos[j.ID]
 	s.journalCheckpoint()
@@ -264,7 +295,7 @@ func (s *Scheduler) Complete(id job.ID) (JobInfo, error) {
 	if err := s.journalAppend(Event{Op: opDone, ID: int64(id)}); err != nil {
 		return JobInfo{}, err
 	}
-	s.finish(id, StateCompleted)
+	s.eng.Finish(id, engine.FinishCompleted)
 	s.replan()
 	s.journalCheckpoint()
 	return *info, nil
@@ -284,12 +315,7 @@ func (s *Scheduler) Cancel(id job.ID) error {
 	if err := s.journalAppend(Event{Op: opCancel, ID: int64(id)}); err != nil {
 		return err
 	}
-	for i, j := range s.waiting {
-		if j.ID == id {
-			s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
-			break
-		}
-	}
+	s.eng.CancelWaiting(id)
 	delete(s.infos, id)
 	s.replan()
 	s.journalCheckpoint()
@@ -308,15 +334,14 @@ func (s *Scheduler) Fail(procs int) error {
 	if procs < 1 {
 		return fmt.Errorf("rms: fail %d processors < 1", procs)
 	}
-	if s.failed+procs > s.capacity {
+	if s.eng.FailedProcs()+procs > s.eng.Capacity() {
 		return fmt.Errorf("rms: failing %d processors exceeds capacity (%d of %d already failed)",
-			procs, s.failed, s.capacity)
+			procs, s.eng.FailedProcs(), s.eng.Capacity())
 	}
 	if err := s.journalAppend(Event{Op: opFail, Procs: procs}); err != nil {
 		return err
 	}
-	s.failed += procs
-	s.killVictims()
+	s.eng.FailProcs(procs)
 	s.replan()
 	s.journalCheckpoint()
 	return nil
@@ -331,44 +356,16 @@ func (s *Scheduler) Restore(procs int) error {
 	if procs < 1 {
 		return fmt.Errorf("rms: restore %d processors < 1", procs)
 	}
-	if procs > s.failed {
-		return fmt.Errorf("rms: restore %d exceeds %d failed processors", procs, s.failed)
+	if procs > s.eng.FailedProcs() {
+		return fmt.Errorf("rms: restore %d exceeds %d failed processors", procs, s.eng.FailedProcs())
 	}
 	if err := s.journalAppend(Event{Op: opRestore, Procs: procs}); err != nil {
 		return err
 	}
-	s.failed -= procs
+	s.eng.RestoreProcs(procs)
 	s.replan()
 	s.journalCheckpoint()
 	return nil
-}
-
-// killVictims terminates running jobs until the rest fit the effective
-// capacity, consulting the victim policy for the order. A policy that
-// returns stale or insufficient victims is backstopped by the default
-// order so the machine is never left oversubscribed. Callers hold the
-// lock.
-func (s *Scheduler) killVictims() {
-	eff := s.effective()
-	used := 0
-	for _, r := range s.running {
-		used += r.Job.Width
-	}
-	if used <= eff {
-		return
-	}
-	order := s.victims(s.now, append([]plan.Running(nil), s.running...))
-	order = append(order, VictimLastStarted(s.now, append([]plan.Running(nil), s.running...))...)
-	for _, r := range order {
-		if used <= eff {
-			break
-		}
-		if info, ok := s.infos[r.Job.ID]; !ok || info.State != StateRunning {
-			continue
-		}
-		s.finish(r.Job.ID, StateFailed)
-		used -= r.Job.Width
-	}
 }
 
 // Advance moves the clock to the given time, starting jobs whose planned
@@ -377,68 +374,20 @@ func (s *Scheduler) killVictims() {
 func (s *Scheduler) Advance(to int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if to < s.now {
-		return fmt.Errorf("rms: cannot advance from %d back to %d", s.now, to)
+	if to < s.eng.Now() {
+		return fmt.Errorf("rms: cannot advance from %d back to %d", s.eng.Now(), to)
 	}
-	if to != s.now {
+	if to != s.eng.Now() {
 		// Advancing to the current time is a no-op; journaling only real
 		// moves keeps a real-time ticker from flooding the journal.
 		if err := s.journalAppend(Event{Op: opTick, To: to}); err != nil {
 			return err
 		}
 	}
-	s.advanceLocked(to, false)
-	s.now = to
+	_ = s.eng.AdvanceTo(to, false)
+	s.eng.JumpTo(to)
 	s.journalCheckpoint()
 	return nil
-}
-
-// advanceLocked processes automatic actions (kills, planned starts) up to
-// time `to` — strictly before it when exclusive is set. Callers hold the
-// lock and are responsible for setting s.now afterwards.
-func (s *Scheduler) advanceLocked(to int64, exclusive bool) {
-	stuck := false
-	for {
-		// After a fruitless replan the due-now entries are infeasible for
-		// good (rogue driver, shrunken machine); look strictly ahead so
-		// later expiries and starts still fire instead of spinning on or
-		// returning at the stuck instant.
-		next, ok := s.nextActionTime(stuck)
-		if !ok || next > to || (exclusive && next == to) {
-			return
-		}
-		prevNow, prevRunning, prevDone := s.now, len(s.running), len(s.done)
-		s.now = next
-		s.killExpired()
-		s.startDue()
-		if s.now == prevNow && len(s.running) == prevRunning && len(s.done) == prevDone {
-			// A plan entry is due but cannot act — it no longer fits, or
-			// a rogue driver planned an infeasible start. Replan once to
-			// self-heal before skipping past it.
-			if stuck {
-				return
-			}
-			stuck = true
-			s.replan()
-			continue
-		}
-		stuck = false
-	}
-}
-
-// killExpired terminates running jobs whose estimates expired and replans
-// if any were found. Callers hold the lock.
-func (s *Scheduler) killExpired() {
-	killed := false
-	for _, r := range append([]plan.Running(nil), s.running...) {
-		if r.EstimatedEnd() <= s.now {
-			s.finish(r.Job.ID, StateKilled)
-			killed = true
-		}
-	}
-	if killed {
-		s.replan()
-	}
 }
 
 // Submission describes one job of a Deliver batch.
@@ -460,13 +409,13 @@ type Submission struct {
 func (s *Scheduler) Deliver(t int64, completions []job.ID, subs []Submission) ([]JobInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if t < s.now {
-		return nil, fmt.Errorf("rms: cannot deliver at %d before current time %d", t, s.now)
+	if t < s.eng.Now() {
+		return nil, fmt.Errorf("rms: cannot deliver at %d before current time %d", t, s.eng.Now())
 	}
 	// Journaled ahead of the clock move: a batch that fails validation
 	// below is replayed and rejected identically, leaving the same state
 	// (including the advanced clock) as the original run.
-	if len(completions) > 0 || len(subs) > 0 || t != s.now {
+	if len(completions) > 0 || len(subs) > 0 || t != s.eng.Now() {
 		ids := make([]int64, len(completions))
 		for i, id := range completions {
 			ids[i] = int64(id)
@@ -475,8 +424,8 @@ func (s *Scheduler) Deliver(t int64, completions []job.ID, subs []Submission) ([
 			return nil, err
 		}
 	}
-	s.advanceLocked(t, true)
-	s.now = t
+	_ = s.eng.AdvanceTo(t, true)
+	s.eng.JumpTo(t)
 
 	// Validate the whole batch before mutating anything, so a bad entry
 	// cannot leave the batch half-applied.
@@ -495,8 +444,8 @@ func (s *Scheduler) Deliver(t int64, completions []job.ID, subs []Submission) ([
 		}
 	}
 	for _, sub := range subs {
-		if sub.Width < 1 || sub.Width > s.capacity {
-			return nil, fmt.Errorf("rms: width %d out of [1, %d]", sub.Width, s.capacity)
+		if sub.Width < 1 || sub.Width > s.eng.Capacity() {
+			return nil, fmt.Errorf("rms: width %d out of [1, %d]", sub.Width, s.eng.Capacity())
 		}
 		if sub.Estimate < 1 {
 			return nil, fmt.Errorf("rms: estimate %d < 1", sub.Estimate)
@@ -506,26 +455,22 @@ func (s *Scheduler) Deliver(t int64, completions []job.ID, subs []Submission) ([
 	// Client completions first (a job completing exactly at its
 	// estimate counts as completed, not killed), then expiries.
 	for _, id := range completions {
-		s.finish(id, StateCompleted)
+		s.eng.Finish(id, engine.FinishCompleted)
 	}
-	for _, r := range append([]plan.Running(nil), s.running...) {
-		if r.EstimatedEnd() <= s.now {
-			s.finish(r.Job.ID, StateKilled)
-		}
-	}
+	s.eng.KillExpired()
 
 	out := make([]JobInfo, 0, len(subs))
 	for _, sub := range subs {
 		s.nextID++
 		j := &job.Job{
-			ID: s.nextID, Submit: s.now, Width: sub.Width,
+			ID: s.nextID, Submit: s.eng.Now(), Width: sub.Width,
 			Estimate: sub.Estimate, Runtime: sub.Estimate,
 		}
-		s.waiting = append(s.waiting, j)
 		s.infos[j.ID] = &JobInfo{
 			ID: j.ID, Width: j.Width, Estimate: j.Estimate,
-			Submitted: s.now, State: StateWaiting,
+			Submitted: s.eng.Now(), State: StateWaiting,
 		}
+		s.eng.Submit(j)
 	}
 
 	s.replan()
@@ -534,129 +479,6 @@ func (s *Scheduler) Deliver(t int64, completions []job.ID, subs []Submission) ([
 	}
 	s.journalCheckpoint()
 	return out, nil
-}
-
-// nextActionTime returns the earliest time at which the machine state
-// changes by itself: a planned start or an estimate expiry. With
-// strictlyAfter set, actions due at the current instant are ignored —
-// advanceLocked uses this to step past entries that proved infeasible.
-func (s *Scheduler) nextActionTime(strictlyAfter bool) (int64, bool) {
-	var next int64
-	found := false
-	consider := func(t int64) {
-		if t < s.now {
-			t = s.now
-		}
-		if strictlyAfter && t <= s.now {
-			return
-		}
-		if !found || t < next {
-			next, found = t, true
-		}
-	}
-	for _, r := range s.running {
-		consider(r.EstimatedEnd())
-	}
-	if s.plan != nil {
-		for _, e := range s.plan.Entries {
-			// Only entries of still-waiting jobs can act; started jobs
-			// leave stale entries behind until the next replan.
-			if info, ok := s.infos[e.Job.ID]; ok && info.State == StateWaiting {
-				consider(e.Start)
-			}
-		}
-	}
-	return next, found
-}
-
-// finish moves a job out of the running set. Callers hold the lock.
-func (s *Scheduler) finish(id job.ID, state JobState) {
-	for i, r := range s.running {
-		if r.Job.ID == id {
-			s.running = append(s.running[:i], s.running[i+1:]...)
-			info := s.infos[id]
-			info.State = state
-			info.Finished = s.now
-			s.done = append(s.done, *info)
-			return
-		}
-	}
-}
-
-// replan recomputes the full schedule against the effective capacity and
-// starts due jobs. Jobs wider than the effective capacity are
-// unplaceable: they are withheld from the planner and marked with the
-// NeverStart sentinel until capacity returns. Callers hold the lock.
-func (s *Scheduler) replan() {
-	eff := s.effective()
-	if eff < 1 {
-		// Fully drained machine: nothing can be planned or started.
-		s.plan = nil
-		for _, j := range s.waiting {
-			s.infos[j.ID].PlannedStart = NeverStart
-		}
-		return
-	}
-	planned := s.waiting
-	for i, j := range s.waiting {
-		if j.Width <= eff {
-			continue
-		}
-		// First unplaceable job found; split the queue once.
-		planned = append([]*job.Job(nil), s.waiting[:i]...)
-		for _, k := range s.waiting[i:] {
-			if k.Width <= eff {
-				planned = append(planned, k)
-			} else {
-				s.infos[k.ID].PlannedStart = NeverStart
-			}
-		}
-		break
-	}
-	s.plan = s.driver.Plan(s.now, eff, s.running, planned)
-	for _, e := range s.plan.Entries {
-		if info, ok := s.infos[e.Job.ID]; ok && info.State == StateWaiting {
-			info.PlannedStart = e.Start
-		}
-	}
-	s.startDue()
-}
-
-// startDue launches every waiting job whose planned start is now. A plan
-// entry that no longer fits — the capacity dropped after the plan was
-// built, or a rogue driver oversubscribed — is skipped, not started: the
-// job stays waiting and the next replanning event reschedules it. This
-// graceful degradation replaces a former panic. Callers hold the lock.
-func (s *Scheduler) startDue() {
-	if s.plan == nil {
-		return
-	}
-	used := 0
-	for _, r := range s.running {
-		used += r.Job.Width
-	}
-	for _, e := range s.plan.Entries {
-		if e.Start != s.now {
-			continue
-		}
-		info := s.infos[e.Job.ID]
-		if info == nil || info.State != StateWaiting {
-			continue
-		}
-		if used+e.Job.Width > s.effective() {
-			continue
-		}
-		for i, wj := range s.waiting {
-			if wj.ID == e.Job.ID {
-				s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
-				break
-			}
-		}
-		s.running = append(s.running, plan.Running{Job: e.Job, Start: s.now})
-		used += e.Job.Width
-		info.State = StateRunning
-		info.Started = s.now
-	}
 }
 
 // Status is a snapshot of the whole system.
@@ -681,18 +503,18 @@ func (s *Scheduler) Status() Status {
 
 func (s *Scheduler) statusLocked() Status {
 	st := Status{
-		Now:          s.now,
-		Capacity:     s.capacity,
-		FailedProcs:  s.failed,
+		Now:          s.eng.Now(),
+		Capacity:     s.eng.Capacity(),
+		FailedProcs:  s.eng.FailedProcs(),
 		ActivePolicy: s.driver.ActivePolicy(),
 		Scheduler:    s.driver.Name(),
 		Finished:     len(s.done),
 	}
-	for _, r := range s.running {
+	for _, r := range s.eng.Running() {
 		st.UsedProcs += r.Job.Width
 		st.Running = append(st.Running, *s.infos[r.Job.ID])
 	}
-	for _, w := range s.waiting {
+	for _, w := range s.eng.Waiting() {
 		st.Waiting = append(st.Waiting, *s.infos[w.ID])
 	}
 	sort.Slice(st.Running, func(i, j int) bool { return st.Running[i].Started < st.Running[j].Started })
@@ -724,37 +546,23 @@ func (s *Scheduler) Finished() []JobInfo {
 }
 
 // CheckInvariants verifies the scheduler's internal consistency: the
-// running set fits the effective capacity, every queue entry has a
-// matching info in the matching state, and no job is both waiting and
-// running. It exists for tests and the chaos harness; a healthy
-// scheduler always returns nil.
+// engine's machine state is coherent (see engine.CheckInvariants), every
+// queue entry has a matching info in the matching state, and no job is
+// both waiting and running. It exists for tests and the chaos harness; a
+// healthy scheduler always returns nil.
 func (s *Scheduler) CheckInvariants() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.failed < 0 || s.failed > s.capacity {
-		return fmt.Errorf("rms: %d failed processors out of [0, %d]", s.failed, s.capacity)
+	if err := s.eng.CheckInvariants(); err != nil {
+		return fmt.Errorf("rms: %w", err)
 	}
-	used := 0
-	runningIDs := make(map[job.ID]struct{}, len(s.running))
-	for _, r := range s.running {
-		if _, dup := runningIDs[r.Job.ID]; dup {
-			return fmt.Errorf("rms: job %d running twice", r.Job.ID)
-		}
-		runningIDs[r.Job.ID] = struct{}{}
-		used += r.Job.Width
+	for _, r := range s.eng.Running() {
 		info, ok := s.infos[r.Job.ID]
 		if !ok || info.State != StateRunning {
 			return fmt.Errorf("rms: running job %d has no running info", r.Job.ID)
 		}
 	}
-	if used > s.effective() {
-		return fmt.Errorf("rms: %d processors in use exceed effective capacity %d",
-			used, s.effective())
-	}
-	for _, w := range s.waiting {
-		if _, alsoRunning := runningIDs[w.ID]; alsoRunning {
-			return fmt.Errorf("rms: job %d both waiting and running", w.ID)
-		}
+	for _, w := range s.eng.Waiting() {
 		info, ok := s.infos[w.ID]
 		if !ok || info.State != StateWaiting {
 			return fmt.Errorf("rms: waiting job %d has no waiting info", w.ID)
@@ -763,18 +571,11 @@ func (s *Scheduler) CheckInvariants() error {
 	for id, info := range s.infos {
 		switch info.State {
 		case StateWaiting:
-			found := false
-			for _, w := range s.waiting {
-				if w.ID == id {
-					found = true
-					break
-				}
-			}
-			if !found {
+			if !s.eng.IsWaiting(id) {
 				return fmt.Errorf("rms: job %d marked waiting but not queued", id)
 			}
 		case StateRunning:
-			if _, ok := runningIDs[id]; !ok {
+			if !s.eng.IsRunning(id) {
 				return fmt.Errorf("rms: job %d marked running but not on the machine", id)
 			}
 		}

@@ -29,6 +29,8 @@ import (
 //	{"op":"tick","to":5000}     advance the virtual clock (virtual mode)
 //	{"op":"fail","procs":8}     take processors out of service (operator op)
 //	{"op":"restore","procs":8}  return failed processors to service
+//	{"op":"trace","n":50}       the last n engine transitions (needs -trace)
+//	{"op":"metrics"}            lifetime engine metrics (needs -trace)
 //
 // Responses carry {"ok":true,...} or {"ok":false,"error":"..."}.
 type Server struct {
@@ -36,6 +38,10 @@ type Server struct {
 	// AllowTick enables the "tick" op; a real-time daemon drives the
 	// clock itself and rejects client ticks.
 	AllowTick bool
+	// Trace backs the "trace" and "metrics" ops; both report an error
+	// when it is nil. Attach the same EventTrace to the scheduler with
+	// AddObserver and set it here before Listen.
+	Trace *EventTrace
 	// IdleTimeout bounds how long a connection may sit between requests
 	// before the server drops it (0 = no limit). Set it before Listen.
 	IdleTimeout time.Duration
@@ -60,18 +66,21 @@ type Request struct {
 	ID       int64  `json:"id,omitempty"`
 	To       int64  `json:"to,omitempty"`
 	Procs    int    `json:"procs,omitempty"`
+	N        int    `json:"n,omitempty"` // trace: how many recent events (0 = all buffered)
 }
 
 // Response is one protocol response. Now is always present — "now":0 at
 // t=0 is a real clock reading, not an absent field.
 type Response struct {
-	OK       bool      `json:"ok"`
-	Error    string    `json:"error,omitempty"`
-	Job      *JobInfo  `json:"job,omitempty"`
-	Status   *Status   `json:"status,omitempty"`
-	Finished []JobInfo `json:"finished,omitempty"`
-	Report   *Report   `json:"report,omitempty"`
-	Now      int64     `json:"now"`
+	OK       bool           `json:"ok"`
+	Error    string         `json:"error,omitempty"`
+	Job      *JobInfo       `json:"job,omitempty"`
+	Status   *Status        `json:"status,omitempty"`
+	Finished []JobInfo      `json:"finished,omitempty"`
+	Report   *Report        `json:"report,omitempty"`
+	Trace    []TraceEvent   `json:"trace,omitempty"`
+	Metrics  *EngineMetrics `json:"metrics,omitempty"`
+	Now      int64          `json:"now"`
 }
 
 // Handle executes one request against the scheduler.
@@ -129,6 +138,17 @@ func (sv *Server) Handle(req Request) Response {
 		}
 		st := sv.sched.Status()
 		return Response{OK: true, Status: &st, Now: st.Now}
+	case "trace":
+		if sv.Trace == nil {
+			return fail(fmt.Errorf("rms: tracing disabled (start the daemon with -trace)"))
+		}
+		return Response{OK: true, Trace: sv.Trace.Last(req.N), Now: sv.sched.Now()}
+	case "metrics":
+		if sv.Trace == nil {
+			return fail(fmt.Errorf("rms: tracing disabled (start the daemon with -trace)"))
+		}
+		m := sv.Trace.Metrics()
+		return Response{OK: true, Metrics: &m, Now: sv.sched.Now()}
 	default:
 		return fail(fmt.Errorf("rms: unknown op %q", req.Op))
 	}

@@ -1,0 +1,146 @@
+package rms
+
+import (
+	"sync"
+
+	"dynp/internal/engine"
+)
+
+// TraceEvent is the wire form of one observed engine transition, as
+// served by the daemon's "trace" op: job pointers become IDs and the
+// event kind becomes its string name, so the record is self-contained
+// and JSON-friendly.
+type TraceEvent struct {
+	Seq     uint64 `json:"seq"` // monotonically increasing over the scheduler's life
+	Kind    string `json:"kind"`
+	Time    int64  `json:"time"`
+	Job     int64  `json:"job,omitempty"`   // job-scoped kinds only
+	Procs   int    `json:"procs,omitempty"` // job width, or processors failed/restored
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	Used    int    `json:"used"`
+	Policy  string `json:"policy"`
+	Case    string `json:"case,omitempty"`    // plan events of a dynP driver: Table-1 decision case
+	PlanNs  int64  `json:"plan_ns,omitempty"` // plan events: wall-clock planning latency
+}
+
+// EngineMetrics aggregates the engine's event stream over the
+// scheduler's lifetime, as served by the daemon's "metrics" op.
+type EngineMetrics struct {
+	Events      map[string]int64 `json:"events"`          // transitions by kind
+	Cases       map[string]int64 `json:"cases,omitempty"` // Table-1 decision cases (dynP drivers)
+	Plans       int64            `json:"plans"`           // scheduling events observed
+	PlanNsTotal int64            `json:"plan_ns_total"`   // cumulative planning latency
+	PlanNsMax   int64            `json:"plan_ns_max"`     // worst single planning latency
+	Dropped     uint64           `json:"dropped"`         // trace events evicted from the ring buffer
+}
+
+// EventTrace is an engine observer that keeps the most recent
+// transitions in a bounded ring buffer and aggregates lifetime metrics.
+// Attach one with Scheduler.AddObserver; it is safe for concurrent
+// readers (the protocol server) while the scheduler appends.
+type EventTrace struct {
+	mu      sync.Mutex
+	buf     []TraceEvent
+	start   int // index of the oldest buffered event
+	n       int // buffered events
+	seq     uint64
+	dropped uint64
+
+	events      map[string]int64
+	cases       map[string]int64
+	plans       int64
+	planNsTotal int64
+	planNsMax   int64
+}
+
+// NewEventTrace returns a trace retaining the last capacity events
+// (minimum 1).
+func NewEventTrace(capacity int) *EventTrace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventTrace{
+		buf:    make([]TraceEvent, capacity),
+		events: make(map[string]int64),
+		cases:  make(map[string]int64),
+	}
+}
+
+// Observe implements engine.Observer.
+func (t *EventTrace) Observe(ev engine.Event) {
+	te := TraceEvent{
+		Kind:    ev.Kind.String(),
+		Time:    ev.Time,
+		Procs:   ev.Procs,
+		Queued:  ev.Queued,
+		Running: ev.Running,
+		Used:    ev.Used,
+		Policy:  ev.Policy.String(),
+		Case:    ev.Case,
+		PlanNs:  ev.Latency.Nanoseconds(),
+	}
+	if ev.Job != nil {
+		te.Job = int64(ev.Job.ID)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	te.Seq = t.seq
+	if t.n == len(t.buf) {
+		t.start = (t.start + 1) % len(t.buf)
+		t.dropped++
+	} else {
+		t.n++
+	}
+	t.buf[(t.start+t.n-1)%len(t.buf)] = te
+	t.events[te.Kind]++
+	if ev.Kind == engine.EventPlan {
+		t.plans++
+		t.planNsTotal += te.PlanNs
+		if te.PlanNs > t.planNsMax {
+			t.planNsMax = te.PlanNs
+		}
+		if te.Case != "" {
+			t.cases[te.Case]++
+		}
+	}
+}
+
+// Last returns the most recent n buffered events in chronological order
+// (all of them when n < 1 or n exceeds the buffer).
+func (t *EventTrace) Last(n int) []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 1 || n > t.n {
+		n = t.n
+	}
+	out := make([]TraceEvent, 0, n)
+	for i := t.n - n; i < t.n; i++ {
+		out = append(out, t.buf[(t.start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Metrics returns the lifetime aggregates.
+func (t *EventTrace) Metrics() EngineMetrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := EngineMetrics{
+		Events:      make(map[string]int64, len(t.events)),
+		Plans:       t.plans,
+		PlanNsTotal: t.planNsTotal,
+		PlanNsMax:   t.planNsMax,
+		Dropped:     t.dropped,
+	}
+	for k, v := range t.events {
+		m.Events[k] = v
+	}
+	if len(t.cases) > 0 {
+		m.Cases = make(map[string]int64, len(t.cases))
+		for k, v := range t.cases {
+			m.Cases[k] = v
+		}
+	}
+	return m
+}

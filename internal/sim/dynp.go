@@ -52,3 +52,8 @@ func (d *DynP) ActivePolicy() policy.Policy { return d.Tuner.Active() }
 
 // Stats exposes the tuner's decision statistics.
 func (d *DynP) Stats() core.Stats { return d.Tuner.Stats() }
+
+// LastDecisionCase classifies the most recent self-tuning step as one of
+// the paper's Table-1 cases; the scheduling engine stamps it on every
+// EventPlan it emits (see engine.DecisionCaser).
+func (d *DynP) LastDecisionCase() string { return d.Tuner.LastDecisionCase() }

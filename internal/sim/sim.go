@@ -11,28 +11,30 @@
 // with the estimated end of a running job — and the corresponding actual
 // completion event fires no later than that, so starts are always triggered
 // by an event and the event loop needs no additional timers.
+//
+// The scheduling mechanics — machine state, replan-and-launch, finish
+// transitions — live in internal/engine, shared with the online RMS
+// (internal/rms). Run is a thin virtual-clock harness over that engine:
+// it orders the known submission and completion events in a queue, jumps
+// the engine's clock to each instant, applies the instant's events, and
+// triggers one shared replanning step.
 package sim
 
 import (
 	"fmt"
 
+	"dynp/internal/engine"
 	"dynp/internal/eventq"
 	"dynp/internal/job"
 	"dynp/internal/plan"
 	"dynp/internal/policy"
 )
 
-// Driver produces the full schedule at every scheduling event. It is
-// implemented by Static (one fixed policy) and by DynP (the self-tuning
-// dynP scheduler of internal/core).
-type Driver interface {
-	// Name identifies the scheduler in result tables.
-	Name() string
-	// Plan computes a full schedule for the waiting jobs.
-	Plan(now int64, capacity int, running []plan.Running, waiting []*job.Job) *plan.Schedule
-	// ActivePolicy returns the policy the last plan was built with.
-	ActivePolicy() policy.Policy
-}
+// Driver produces the full schedule at every scheduling event. It is the
+// engine's planning interface, implemented here by Static (one fixed
+// policy), DynP (the self-tuning dynP scheduler of internal/core) and
+// EASY (aggressive backfilling).
+type Driver = engine.Driver
 
 // Static is a Driver that always uses a single policy — the paper's basic
 // scheduling approach used as the baseline.
@@ -74,8 +76,10 @@ type Result struct {
 	Events    int      // scheduling events processed
 
 	// PolicyTime maps each policy to the simulated time it was active,
-	// weighted by the span between scheduling events. For static drivers
-	// it contains a single entry.
+	// weighted by the span between scheduling events; the tail from the
+	// last scheduling event to the makespan is attributed to the policy
+	// active then, so the spans always sum to Makespan - First. For
+	// static drivers it contains a single entry.
 	PolicyTime map[policy.Policy]int64
 }
 
@@ -92,30 +96,35 @@ type event struct {
 	job  *job.Job
 }
 
+// runConfig collects the per-run options.
+type runConfig struct {
+	verify    bool
+	observers []engine.Observer
+}
+
 // Option configures a simulation run.
-type Option func(*engine)
+type Option func(*runConfig)
 
 // WithVerify makes the engine verify every schedule against the current
 // machine state (slow; used by tests and debugging).
-func WithVerify() Option { return func(e *engine) { e.verify = true } }
+func WithVerify() Option { return func(c *runConfig) { c.verify = true } }
+
+// WithObserver attaches an observer to the run's scheduling engine: it
+// receives every transition (submissions, starts, completions and one
+// EventPlan per scheduling event) as structured engine.Event values.
+func WithObserver(o engine.Observer) Option {
+	return func(c *runConfig) { c.observers = append(c.observers, o) }
+}
 
 // WithQueueProbe registers a callback invoked after every scheduling event
 // with the current time and waiting-queue length, for queue-dynamics
-// analyses.
+// analyses. It is an adapter over WithObserver.
 func WithQueueProbe(probe func(now int64, queued int)) Option {
-	return func(e *engine) { e.probe = probe }
-}
-
-type engine struct {
-	set      *job.Set
-	driver   Driver
-	events   eventq.Queue[event]
-	running  []plan.Running
-	waiting  []*job.Job
-	used     int // processors in use
-	verify   bool
-	probe    func(int64, int)
-	finished map[job.ID]bool
+	return WithObserver(engine.ObserverFunc(func(ev engine.Event) {
+		if ev.Kind == engine.EventPlan {
+			probe(ev.Time, ev.Queued)
+		}
+	}))
 }
 
 // Run simulates the job set under the given scheduler driver and returns
@@ -124,12 +133,9 @@ func Run(set *job.Set, driver Driver, opts ...Option) (*Result, error) {
 	if err := set.Validate(); err != nil {
 		return nil, err
 	}
-	e := &engine{set: set, driver: driver, finished: make(map[job.ID]bool, len(set.Jobs))}
+	var cfg runConfig
 	for _, o := range opts {
-		o(e)
-	}
-	for _, j := range set.Jobs {
-		e.events.Push(j.Submit, int(evSubmit), event{evSubmit, j})
+		o(&cfg)
 	}
 
 	res := &Result{
@@ -142,97 +148,92 @@ func Run(set *job.Set, driver Driver, opts ...Option) (*Result, error) {
 		res.First = set.Jobs[0].Submit
 	}
 
+	var events eventq.Queue[event]
+	for _, j := range set.Jobs {
+		events.Push(j.Submit, int(evSubmit), event{evSubmit, j})
+	}
+
+	// The engine launches jobs; the harness turns every launch into the
+	// completion event the virtual clock already knows about.
 	starts := make(map[job.ID]int64, len(set.Jobs))
+	finished := make(map[job.ID]bool, len(set.Jobs))
+	engOpts := []engine.Option{
+		engine.WithStrictLaunch(),
+		engine.WithHooks(engine.Hooks{
+			Started: func(j *job.Job, now int64) {
+				starts[j.ID] = now
+				events.Push(now+j.Runtime, int(evFinish), event{evFinish, j})
+			},
+		}),
+	}
+	if cfg.verify {
+		engOpts = append(engOpts, engine.WithVerify())
+	}
+	for _, o := range cfg.observers {
+		engOpts = append(engOpts, engine.WithObserver(o))
+	}
+	eng := engine.New(set.Machine, driver, res.First, engOpts...)
+
 	lastEvent := res.First
-	for e.events.Len() > 0 {
-		head, _ := e.events.Peek()
+	for events.Len() > 0 {
+		head, _ := events.Peek()
 		now := head.Time
 
 		// Attribute the elapsed span to the policy active since the
 		// previous event.
 		if now > lastEvent {
-			res.PolicyTime[e.driver.ActivePolicy()] += now - lastEvent
+			res.PolicyTime[driver.ActivePolicy()] += now - lastEvent
 			lastEvent = now
 		}
+		eng.JumpTo(now)
 
 		// Apply every event at this instant before replanning:
 		// completions free processors, submissions extend the queue.
-		for e.events.Len() > 0 {
-			if h, _ := e.events.Peek(); h.Time != now {
+		for events.Len() > 0 {
+			if h, _ := events.Peek(); h.Time != now {
 				break
 			}
-			ev, _ := e.events.Pop()
+			ev, _ := events.Pop()
 			switch ev.Payload.kind {
 			case evFinish:
-				e.removeRunning(ev.Payload.job)
+				j := ev.Payload.job
+				if !eng.Finish(j.ID, engine.FinishCompleted) {
+					if finished[j.ID] {
+						panic(fmt.Sprintf("sim: %s finished twice", j))
+					}
+					panic(fmt.Sprintf("sim: finish event for %s which is not running", j))
+				}
+				finished[j.ID] = true
 				res.Records = append(res.Records, Record{
-					Job:    ev.Payload.job,
-					Start:  starts[ev.Payload.job.ID],
+					Job:    j,
+					Start:  starts[j.ID],
 					Finish: now,
 				})
 				if now > res.Makespan {
 					res.Makespan = now
 				}
 			case evSubmit:
-				e.waiting = append(e.waiting, ev.Payload.job)
+				eng.Submit(ev.Payload.job)
 			}
 		}
 
-		// One scheduling event: recompute the full schedule.
-		schedule := e.driver.Plan(now, set.Machine, e.running, e.waiting)
+		// One scheduling event: recompute the full schedule and launch
+		// the jobs planned to start right now.
+		if err := eng.Replan(); err != nil {
+			return nil, err
+		}
 		res.Events++
-		if e.verify {
-			if err := schedule.Verify(e.running); err != nil {
-				return nil, fmt.Errorf("sim: at t=%d: %w", now, err)
-			}
-		}
+	}
 
-		// Launch the jobs planned to start right now.
-		for _, entry := range schedule.StartingNow() {
-			j := entry.Job
-			if e.used+j.Width > set.Machine {
-				return nil, fmt.Errorf("sim: at t=%d: starting %s exceeds capacity (%d used of %d)",
-					now, j, e.used, set.Machine)
-			}
-			e.used += j.Width
-			e.running = append(e.running, plan.Running{Job: j, Start: now})
-			e.removeWaiting(j)
-			starts[j.ID] = now
-			e.events.Push(now+j.Runtime, int(evFinish), event{evFinish, j})
-		}
-
-		if e.probe != nil {
-			e.probe(now, len(e.waiting))
-		}
+	// The last completion is itself a scheduling event, so this tail span
+	// is empty today; attribute it anyway so PolicyTime stays total by
+	// construction should the loop ever end before the makespan.
+	if res.Makespan > lastEvent {
+		res.PolicyTime[driver.ActivePolicy()] += res.Makespan - lastEvent
 	}
 
 	if len(res.Records) != len(set.Jobs) {
 		return nil, fmt.Errorf("sim: %d of %d jobs completed", len(res.Records), len(set.Jobs))
 	}
 	return res, nil
-}
-
-func (e *engine) removeRunning(j *job.Job) {
-	for i, r := range e.running {
-		if r.Job.ID == j.ID {
-			e.used -= j.Width
-			e.running = append(e.running[:i], e.running[i+1:]...)
-			if e.finished[j.ID] {
-				panic(fmt.Sprintf("sim: %s finished twice", j))
-			}
-			e.finished[j.ID] = true
-			return
-		}
-	}
-	panic(fmt.Sprintf("sim: finish event for %s which is not running", j))
-}
-
-func (e *engine) removeWaiting(j *job.Job) {
-	for i, w := range e.waiting {
-		if w.ID == j.ID {
-			e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
-			return
-		}
-	}
-	panic(fmt.Sprintf("sim: started %s which is not waiting", j))
 }

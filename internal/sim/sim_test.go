@@ -140,6 +140,40 @@ func TestPolicyTimeAccounting(t *testing.T) {
 	}
 }
 
+// TestPolicyTimeSpansTotal locks the final-span attribution: for every
+// driver — including the self-tuning ones, whose active policy changes
+// mid-run — the per-policy spans must sum exactly to Makespan - First,
+// with the tail from the last scheduling event attributed to the policy
+// active then.
+func TestPolicyTimeSpansTotal(t *testing.T) {
+	drivers := []func() Driver{
+		func() Driver { return &Static{Policy: policy.FCFS} },
+		func() Driver { return &Static{Policy: policy.SJF} },
+		func() Driver { return NewDynP(core.Simple{}) },
+		func() Driver { return NewDynP(core.Advanced{}) },
+		func() Driver { return NewDynP(core.Preferred{Policy: policy.SJF}) },
+		func() Driver { return &EASY{Base: policy.FCFS} },
+	}
+	for seed := uint64(0); seed < 5; seed++ {
+		set := randomSet(seed, 120, 8)
+		for _, mk := range drivers {
+			d := mk()
+			res, err := Run(set, d)
+			if err != nil {
+				t.Fatalf("seed %d, %s: %v", seed, d.Name(), err)
+			}
+			var total int64
+			for _, span := range res.PolicyTime {
+				total += span
+			}
+			if total != res.Makespan-res.First {
+				t.Fatalf("seed %d, %s: policy spans sum to %d, simulated span is %d",
+					seed, d.Name(), total, res.Makespan-res.First)
+			}
+		}
+	}
+}
+
 func TestDynPDriverRuns(t *testing.T) {
 	set := mkSet(2,
 		j(1, 0, 2, 100, 100),

@@ -34,10 +34,24 @@ type (
 	// VictimPolicy orders running jobs for termination when processor
 	// failures shrink the machine below the running set's footprint.
 	VictimPolicy = rms.VictimPolicy
+	// OnlineEventTrace is a ring-buffer engine observer: attach one to
+	// an OnlineScheduler with AddObserver to serve the daemon's "trace"
+	// and "metrics" ops.
+	OnlineEventTrace = rms.EventTrace
+	// OnlineTraceEvent is the wire form of one observed engine
+	// transition.
+	OnlineTraceEvent = rms.TraceEvent
+	// OnlineEngineMetrics aggregates the engine's event stream over the
+	// scheduler's lifetime.
+	OnlineEngineMetrics = rms.EngineMetrics
 	// GanttChart is a processor-time occupancy chart of a completed
 	// run.
 	GanttChart = gantt.Chart
 )
+
+// NewOnlineEventTrace returns an engine-event ring buffer retaining the
+// last capacity transitions.
+func NewOnlineEventTrace(capacity int) *OnlineEventTrace { return rms.NewEventTrace(capacity) }
 
 // The online job lifecycle states.
 const (

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test race soak bench bench-smoke bench-tuner fuzz repro repro-full ablations golden golden-check golden-check-full clean
+.PHONY: all ci build vet fmt-check test race soak bench bench-smoke bench-tuner bench-plan bench-plan-check fuzz repro repro-full ablations golden golden-check golden-check-full clean
 
 all: build vet test
 
@@ -52,9 +52,20 @@ bench-smoke:
 bench-tuner:
 	$(GO) run ./cmd/benchtuner -out BENCH_tuner.json
 
+# Refresh the committed allocation snapshot of the what-if planning path
+# (pooled vs unpooled builds, memoized vs rebuilt tuner steps).
+bench-plan:
+	$(GO) run ./cmd/benchplan -out BENCH_plan.json
+
+# Fail when the tuner step's allocs/op regressed >10% against the
+# committed BENCH_plan.json. CI runs this in the bench-smoke job.
+bench-plan-check:
+	$(GO) run ./cmd/benchplan -check BENCH_plan.json
+
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/swf/
 	$(GO) test -fuzz=FuzzServeConn -fuzztime=30s ./internal/rms/
+	$(GO) test -fuzz=FuzzProfileVsReference -fuzztime=30s ./internal/profile/
 
 # Reduced-scale reproduction of every table and figure (about 4 minutes).
 repro:

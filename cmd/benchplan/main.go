@@ -1,0 +1,226 @@
+// Command benchplan measures the allocation behavior of the what-if
+// planning path — the pooled against the unpooled builders, and the
+// self-tuner's full planning step — and writes the measurements as a JSON
+// snapshot (BENCH_plan.json) so CI can fail on allocation regressions.
+//
+//	benchplan -out BENCH_plan.json
+//	benchplan -check BENCH_plan.json   # compare a fresh run against a baseline
+//
+// In -check mode nothing is written: the tool re-measures the tuner-step
+// rows and exits non-zero when any allocs/op regresses more than 10%
+// against the named baseline file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"dynp/internal/core"
+	"dynp/internal/job"
+	"dynp/internal/plan"
+	"dynp/internal/policy"
+	"dynp/internal/rng"
+)
+
+// measurement is one benchmark row.
+type measurement struct {
+	Name        string `json:"name"`
+	Queue       int    `json:"queue"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+type snapshot struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Capacity   int           `json:"capacity"`
+	Running    int           `json:"running_jobs"`
+	Note       string        `json:"note"`
+	Builds     []measurement `json:"builds"`
+	TunerSteps []measurement `json:"tuner_steps"`
+}
+
+const (
+	capacity = 128
+	nRunning = 32
+	// maxRegression is the allocs/op growth -check tolerates before
+	// failing the build.
+	maxRegression = 0.10
+)
+
+func main() {
+	out := flag.String("out", "BENCH_plan.json", "output file ('-' for stdout)")
+	check := flag.String("check", "", "baseline BENCH_plan.json to compare a fresh run against (no output written)")
+	flag.Parse()
+
+	snap := measure(*check != "")
+	if *check != "" {
+		os.Exit(compare(*check, snap))
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	fail(err)
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+	} else {
+		err = os.WriteFile(*out, enc, 0o644)
+	}
+	fail(err)
+}
+
+// state builds the deterministic running-job-heavy event every row uses.
+func state(queued int) ([]plan.Running, []*job.Job) {
+	r := rng.New(5)
+	running := make([]plan.Running, nRunning)
+	for i := range running {
+		running[i] = plan.Running{
+			Job: &job.Job{
+				ID: job.ID(i + 1), Submit: 0,
+				Width: 1 + r.Intn(4), Estimate: int64(1000 + r.Intn(20000)),
+			},
+			Start: 0,
+		}
+	}
+	waiting := make([]*job.Job, queued)
+	for i := range waiting {
+		est := int64(1 + r.Intn(20000))
+		waiting[i] = &job.Job{
+			ID: job.ID(100 + i), Submit: int64(r.Intn(1000)),
+			Width: 1 + r.Intn(capacity), Estimate: est, Runtime: est,
+		}
+	}
+	return running, waiting
+}
+
+func row(name string, queued int, fn func(b *testing.B)) measurement {
+	res := testing.Benchmark(fn)
+	m := measurement{
+		Name: name, Queue: queued,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	fmt.Fprintf(os.Stderr, "%-24s queue %4d  %10d ns/op  %6d allocs/op  %9d B/op\n",
+		name, queued, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+	return m
+}
+
+// measure runs every row; tunerOnly skips the build rows, which -check
+// does not gate on.
+func measure(tunerOnly bool) snapshot {
+	snap := snapshot{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Capacity:   capacity,
+		Running:    nRunning,
+		Note: "pre-PR baseline at queue 64/256/1024, workers 1, cand3: " +
+			"36/39/48 allocs per Plan (19551/50655/264159 B/op)",
+	}
+	for _, queued := range []int{64, 256, 1024} {
+		running, waiting := state(queued)
+		if !tunerOnly {
+			snap.Builds = append(snap.Builds,
+				row("build/unpooled", queued, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						base := plan.BuildBase(1000, capacity, running)
+						for _, p := range policy.Candidates {
+							s := plan.BuildFrom(base, waiting, p)
+							s.PlannedSLDwA()
+						}
+					}
+				}),
+				row("build/pooled", queued, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						base := plan.BuildBasePooled(1000, capacity, running)
+						for _, p := range policy.Candidates {
+							s := plan.BuildFromPooled(base, waiting, p)
+							s.PlannedSLDwA()
+							s.Release()
+						}
+						base.Release()
+					}
+				}))
+		}
+		snap.TunerSteps = append(snap.TunerSteps,
+			row("tuner/memo-hit", queued, func(b *testing.B) {
+				st := core.NewSelfTuner(nil, core.Advanced{}, core.MetricSLDwA)
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					st.Plan(1000, capacity, running, waiting)
+				}
+			}),
+			row("tuner/rebuild", queued, func(b *testing.B) {
+				w := append([]*job.Job(nil), waiting...)
+				st := core.NewSelfTuner(nil, core.Advanced{}, core.MetricSLDwA)
+				for _, j := range w {
+					st.NoteSubmit(j)
+				}
+				nextID := job.ID(100 + len(w))
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					old := w[i%len(w)]
+					st.NoteRemove(old)
+					repl := &job.Job{
+						ID: nextID, Submit: old.Submit,
+						Width: old.Width, Estimate: old.Estimate, Runtime: old.Runtime,
+					}
+					nextID++
+					w[i%len(w)] = repl
+					st.NoteSubmit(repl)
+					st.Plan(1000, capacity, running, w)
+				}
+			}))
+	}
+	return snap
+}
+
+// compare re-measured tuner rows against the baseline file, failing on
+// allocs/op regressions beyond maxRegression.
+func compare(path string, fresh snapshot) int {
+	raw, err := os.ReadFile(path)
+	fail(err)
+	var base snapshot
+	fail(json.Unmarshal(raw, &base))
+	baseline := make(map[string]measurement, len(base.TunerSteps))
+	for _, m := range base.TunerSteps {
+		baseline[key(m)] = m
+	}
+	bad := 0
+	for _, m := range fresh.TunerSteps {
+		b, ok := baseline[key(m)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchplan: %s: no baseline row, skipping\n", key(m))
+			continue
+		}
+		limit := int64(float64(b.AllocsPerOp)*(1+maxRegression)) + 1
+		status := "ok"
+		if m.AllocsPerOp > limit {
+			status = "REGRESSION"
+			bad++
+		}
+		fmt.Fprintf(os.Stderr, "benchplan: %-24s allocs/op %d vs baseline %d (limit %d): %s\n",
+			key(m), m.AllocsPerOp, b.AllocsPerOp, limit, status)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "benchplan: %d allocation regression(s) beyond %.0f%%\n", bad, maxRegression*100)
+		return 1
+	}
+	return 0
+}
+
+func key(m measurement) string { return fmt.Sprintf("%s/queue%d", m.Name, m.Queue) }
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchplan:", err)
+		os.Exit(1)
+	}
+}

@@ -25,11 +25,13 @@ import (
 
 // measurement is one (queue depth, candidate count, workers) cell.
 type measurement struct {
-	Queue      int     `json:"queue"`
-	Candidates int     `json:"candidates"`
-	Workers    int     `json:"workers"`
-	NsPerStep  int64   `json:"ns_per_step"`
-	Speedup    float64 `json:"speedup_vs_sequential"`
+	Queue       int     `json:"queue"`
+	Candidates  int     `json:"candidates"`
+	Workers     int     `json:"workers"`
+	NsPerStep   int64   `json:"ns_per_step"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Speedup     float64 `json:"speedup_vs_sequential"`
 }
 
 type snapshot struct {
@@ -88,18 +90,18 @@ func main() {
 			for _, workers := range []int{1, 2, 4} {
 				ns := stepCost(cs.set, workers, running, waiting, *steps)
 				if workers == 1 {
-					sequential = ns
+					sequential = ns.ns
 				}
 				m := measurement{
 					Queue: queued, Candidates: cs.n, Workers: workers,
-					NsPerStep: ns,
+					NsPerStep: ns.ns, AllocsPerOp: ns.allocs, BytesPerOp: ns.bytes,
 				}
-				if ns > 0 {
-					m.Speedup = round2(float64(sequential) / float64(ns))
+				if ns.ns > 0 {
+					m.Speedup = round2(float64(sequential) / float64(ns.ns))
 				}
 				snap.Results = append(snap.Results, m)
-				fmt.Fprintf(os.Stderr, "queue %4d  candidates %d  workers %d  %12d ns/step  %.2fx\n",
-					queued, cs.n, workers, ns, m.Speedup)
+				fmt.Fprintf(os.Stderr, "queue %4d  candidates %d  workers %d  %12d ns/step  %6d allocs/op  %9d B/op  %.2fx\n",
+					queued, cs.n, workers, ns.ns, ns.allocs, ns.bytes, m.Speedup)
 			}
 		}
 	}
@@ -115,19 +117,54 @@ func main() {
 	fail(err)
 }
 
-// stepCost times steps self-tuning Plan calls and returns ns per step.
-func stepCost(candidates []policy.Policy, workers int, running []plan.Running, waiting []*job.Job, steps int) int64 {
+// cost is one measured planning loop: wall time and heap traffic per step.
+type cost struct {
+	ns, allocs, bytes int64
+}
+
+// stepCost times steps self-tuning Plan calls and returns the per-step
+// cost. One waiting job is replaced through the NoteSubmit/NoteRemove
+// interface before every step, exactly as the scheduling engine reports
+// queue changes: this keeps the incremental order views live (the
+// production fast path) while defeating the tuner's plan memoization, so
+// every step is a genuine rebuild rather than a memo hit.
+func stepCost(candidates []policy.Policy, workers int, running []plan.Running, waiting []*job.Job, steps int) cost {
 	const capacity = 128
 	st := core.NewSelfTuner(candidates, core.Advanced{}, core.MetricSLDwA)
 	st.SetWorkers(workers)
+	waiting = append([]*job.Job(nil), waiting...)
+	for _, j := range waiting {
+		st.NoteSubmit(j)
+	}
+	churn := func(i int) {
+		old := waiting[i%len(waiting)]
+		st.NoteRemove(old)
+		repl := &job.Job{
+			ID: old.ID + job.ID(len(waiting)), Submit: old.Submit,
+			Width: old.Width, Estimate: old.Estimate, Runtime: old.Runtime,
+		}
+		waiting[i%len(waiting)] = repl
+		st.NoteSubmit(repl)
+	}
 	for i := 0; i < 5; i++ { // warm-up
+		churn(i)
 		st.Plan(1000, capacity, running, waiting)
 	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for i := 0; i < steps; i++ {
+		churn(i)
 		st.Plan(1000, capacity, running, waiting)
 	}
-	return time.Since(start).Nanoseconds() / int64(steps)
+	elapsed := time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	n := int64(steps)
+	return cost{
+		ns:     elapsed / n,
+		allocs: int64(after.Mallocs-before.Mallocs) / n,
+		bytes:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+	}
 }
 
 func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }

@@ -63,12 +63,68 @@ func BenchmarkSelfTunerPlan(b *testing.B) {
 					st := NewSelfTuner(cs.set, Advanced{}, MetricSLDwA)
 					st.SetWorkers(workers)
 					b.ResetTimer()
+					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						st.Plan(1000, capacity, running, waiting)
 					}
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkSelfTunerPlanIncremental measures the pooled + incremental-view
+// planning path with the memoization deliberately defeated: every
+// iteration removes one job and submits a replacement through the
+// NoteSubmit/NoteRemove interface, as the scheduling engine does, so each
+// Plan is a genuine rebuild over spliced views. This is the honest
+// steady-state cost of one scheduling event; BenchmarkSelfTunerPlan's
+// identical repeated calls now measure the memo hit instead.
+func BenchmarkSelfTunerPlanIncremental(b *testing.B) {
+	const capacity = 128
+	for _, queued := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("queue%d", queued), func(b *testing.B) {
+			r := rng.New(5)
+			running := make([]plan.Running, 32)
+			for i := range running {
+				running[i] = plan.Running{
+					Job: &job.Job{
+						ID: job.ID(i + 1), Submit: 0,
+						Width: 1 + r.Intn(4), Estimate: int64(1000 + r.Intn(20000)),
+					},
+					Start: 0,
+				}
+			}
+			waiting := make([]*job.Job, queued)
+			st := NewSelfTuner(nil, Advanced{}, MetricSLDwA)
+			nextID := job.ID(100)
+			for i := range waiting {
+				est := int64(1 + r.Intn(20000))
+				waiting[i] = &job.Job{
+					ID: nextID, Submit: int64(r.Intn(1000)),
+					Width: 1 + r.Intn(capacity), Estimate: est, Runtime: est,
+				}
+				nextID++
+				st.NoteSubmit(waiting[i])
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Churn one job so neither the memo nor the base profile
+				// can short-circuit the rebuild.
+				old := waiting[i%queued]
+				st.NoteRemove(old)
+				est := int64(1 + r.Intn(20000))
+				repl := &job.Job{
+					ID: nextID, Submit: int64(r.Intn(1000)),
+					Width: 1 + r.Intn(capacity), Estimate: est, Runtime: est,
+				}
+				nextID++
+				waiting[i%queued] = repl
+				st.NoteSubmit(repl)
+				st.Plan(1000, capacity, running, waiting)
+			}
+		})
 	}
 }
 

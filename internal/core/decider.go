@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"dynp/internal/policy"
 )
@@ -30,7 +31,19 @@ import (
 const Tolerance = 1e-9
 
 // approxEqual reports whether two scores are equal within Tolerance.
+// Non-finite values need explicit handling, and both branches are
+// byte-neutral for the finite scores real schedules produce: equal
+// infinities compare equal (their difference is NaN, which fails every
+// tolerance test), while an infinity never ties anything else (the
+// relative band Tolerance*Inf would otherwise swallow every finite
+// value).
 func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
 	return math.Abs(a-b) <= Tolerance*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
 }
 
@@ -46,24 +59,48 @@ type Decider interface {
 }
 
 // minimal returns the indices of all candidates whose value ties the
-// minimum within Tolerance.
+// minimum within Tolerance. NaN scores order deterministically last
+// (treated as +Inf): a NaN compares false to everything, so without the
+// normalisation a single NaN as values[0] would poison the minimum and
+// minimal would return an empty set for a non-empty input, making the
+// deciders report "no candidates" for a scoring problem.
 func minimal(values []float64) []int {
 	if len(values) == 0 {
 		return nil
 	}
-	min := values[0]
+	norm := func(v float64) float64 {
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+	min := norm(values[0])
 	for _, v := range values[1:] {
-		if v < min {
-			min = v
+		if norm(v) < min {
+			min = norm(v)
 		}
 	}
 	var idx []int
 	for i, v := range values {
-		if approxEqual(v, min) {
+		if approxEqual(norm(v), min) {
 			idx = append(idx, i)
 		}
 	}
 	return idx
+}
+
+// mustMinimal wraps minimal for the deciders' precondition checks,
+// distinguishing an empty candidate set from values the decider cannot
+// order (impossible after NaN normalisation, kept as a backstop).
+func mustMinimal(who string, values []float64) []int {
+	if len(values) == 0 {
+		panic("core: " + who + ".Decide with no candidates")
+	}
+	mins := minimal(values)
+	if len(mins) == 0 {
+		panic("core: " + who + ".Decide with unorderable values")
+	}
+	return mins
 }
 
 // Simple is the three-if-then-else decider of [21]: it returns the policy
@@ -76,10 +113,7 @@ func (Simple) Name() string { return "simple" }
 
 // Decide implements Decider.
 func (Simple) Decide(_ policy.Policy, candidates []policy.Policy, values []float64) policy.Policy {
-	mins := minimal(values)
-	if len(mins) == 0 {
-		panic("core: Simple.Decide with no candidates")
-	}
+	mins := mustMinimal("Simple", values)
 	return candidates[mins[0]]
 }
 
@@ -94,10 +128,7 @@ func (Advanced) Name() string { return "advanced" }
 
 // Decide implements Decider.
 func (Advanced) Decide(old policy.Policy, candidates []policy.Policy, values []float64) policy.Policy {
-	mins := minimal(values)
-	if len(mins) == 0 {
-		panic("core: Advanced.Decide with no candidates")
-	}
+	mins := mustMinimal("Advanced", values)
 	for _, i := range mins {
 		if candidates[i] == old {
 			return old
@@ -120,10 +151,7 @@ func (p Preferred) Name() string { return p.Policy.String() + "-preferred" }
 
 // Decide implements Decider.
 func (p Preferred) Decide(old policy.Policy, candidates []policy.Policy, values []float64) policy.Policy {
-	mins := minimal(values)
-	if len(mins) == 0 {
-		panic("core: Preferred.Decide with no candidates")
-	}
+	mins := mustMinimal("Preferred", values)
 	for _, i := range mins {
 		if candidates[i] == p.Policy {
 			return p.Policy
@@ -138,7 +166,11 @@ func (p Preferred) Decide(old policy.Policy, candidates []policy.Policy, values 
 }
 
 // NewDecider constructs a decider from its table name: "simple",
-// "advanced", or "<POLICY>-preferred" (e.g. "SJF-preferred").
+// "advanced", or "<POLICY>-preferred" (e.g. "SJF-preferred"). The name
+// must match exactly — no surrounding whitespace and nothing after the
+// suffix. (An earlier version parsed with fmt.Sscanf's %s verb, which
+// skips leading whitespace and stops at the first space, so garbage like
+// "SJF-preferred junk" or " SJF-preferred" constructed a valid decider.)
 func NewDecider(name string) (Decider, error) {
 	switch name {
 	case "simple":
@@ -146,14 +178,9 @@ func NewDecider(name string) (Decider, error) {
 	case "advanced":
 		return Advanced{}, nil
 	}
-	var pol string
-	if n, _ := fmt.Sscanf(name, "%s", &pol); n == 1 {
-		const suffix = "-preferred"
-		if len(pol) > len(suffix) && pol[len(pol)-len(suffix):] == suffix {
-			p, err := policy.Parse(pol[:len(pol)-len(suffix)])
-			if err == nil {
-				return Preferred{Policy: p}, nil
-			}
+	if pol, ok := strings.CutSuffix(name, "-preferred"); ok && pol != "" {
+		if p, err := policy.Parse(pol); err == nil {
+			return Preferred{Policy: p}, nil
 		}
 	}
 	return nil, fmt.Errorf("core: unknown decider %q", name)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"dynp/internal/policy"
@@ -205,7 +207,19 @@ func TestNewDecider(t *testing.T) {
 			t.Errorf("NewDecider(%q).Name() = %q", c.name, d.Name())
 		}
 	}
-	for _, bad := range []string{"", "unknown", "XXX-preferred", "-preferred"} {
+	for _, bad := range []string{
+		"", "unknown", "XXX-preferred", "-preferred",
+		// Regression: the former fmt.Sscanf parsing skipped leading
+		// whitespace and stopped at the first space, accepting all of
+		// these as SJF-preferred.
+		"SJF-preferred junk",
+		" SJF-preferred",
+		"SJF-preferred\textra",
+		"SJF-preferred ",
+		"\nSJF-preferred",
+		"simple ",
+		" advanced",
+	} {
 		if _, err := NewDecider(bad); err == nil {
 			t.Errorf("NewDecider(%q) accepted", bad)
 		}
@@ -216,11 +230,62 @@ func TestDecidersPanicOnEmptyCandidates(t *testing.T) {
 	for _, d := range []Decider{Simple{}, Advanced{}, Preferred{Policy: policy.SJF}} {
 		func() {
 			defer func() {
-				if recover() == nil {
+				r := recover()
+				if r == nil {
 					t.Errorf("%s: no panic on empty candidates", d.Name())
+					return
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "no candidates") {
+					t.Errorf("%s: empty-candidates panic %v does not say so", d.Name(), r)
 				}
 			}()
 			d.Decide(policy.FCFS, nil, nil)
 		}()
+	}
+}
+
+// TestDecidersWithNonFiniteValues pins the deciders' behavior when a
+// what-if score degenerates: NaN orders deterministically last (treated
+// as +Inf), equal infinities tie, and no decider ever panics on a
+// non-empty candidate set. Regression: a NaN used to poison minimal()'s
+// minimum (every comparison false), returning an empty index set and
+// panicking with the misleading "Decide with no candidates".
+func TestDecidersWithNonFiniteValues(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name                    string
+		values                  [3]float64 // FCFS, SJF, LJF
+		old                     policy.Policy
+		simple, advanced, sjfPr policy.Policy
+	}{
+		// A single NaN loses to any finite value.
+		{"nan-first", [3]float64{nan, 1, 2}, policy.FCFS, policy.SJF, policy.SJF, policy.SJF},
+		{"nan-middle", [3]float64{1, nan, 2}, policy.SJF, policy.FCFS, policy.FCFS, policy.FCFS},
+		{"nan-last", [3]float64{2, 1, nan}, policy.LJF, policy.SJF, policy.SJF, policy.SJF},
+		// All NaN: a three-way last-place tie; the usual tie rules apply.
+		{"all-nan", [3]float64{nan, nan, nan}, policy.LJF, policy.FCFS, policy.LJF, policy.SJF},
+		// NaN ties +Inf (both order last).
+		{"nan-vs-inf", [3]float64{nan, inf, 1}, policy.FCFS, policy.LJF, policy.LJF, policy.LJF},
+		{"nan-and-inf-only", [3]float64{nan, inf, inf}, policy.FCFS, policy.FCFS, policy.FCFS, policy.SJF},
+		// Equal infinities tie instead of panicking (Inf-Inf is NaN, which
+		// fails every tolerance test without the equality short-circuit).
+		{"all-inf", [3]float64{inf, inf, inf}, policy.SJF, policy.FCFS, policy.SJF, policy.SJF},
+		// -Inf is a legitimate strict minimum.
+		{"neg-inf-wins", [3]float64{math.Inf(-1), 0, 1}, policy.SJF, policy.FCFS, policy.FCFS, policy.FCFS},
+		{"neg-inf-tie", [3]float64{math.Inf(-1), math.Inf(-1), 0}, policy.SJF, policy.FCFS, policy.SJF, policy.SJF},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := c.values
+			if got := decide(Simple{}, c.old, v[0], v[1], v[2]); got != c.simple {
+				t.Errorf("Simple = %v, want %v", got, c.simple)
+			}
+			if got := decide(Advanced{}, c.old, v[0], v[1], v[2]); got != c.advanced {
+				t.Errorf("Advanced = %v, want %v", got, c.advanced)
+			}
+			if got := decide(Preferred{Policy: policy.SJF}, c.old, v[0], v[1], v[2]); got != c.sjfPr {
+				t.Errorf("SJF-preferred = %v, want %v", got, c.sjfPr)
+			}
+		})
 	}
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -31,6 +33,29 @@ type Stats struct {
 // event, Plan builds a full what-if schedule per candidate policy, scores
 // them with Metric and lets Decider pick the policy whose schedule is
 // executed. The zero value is not usable; construct with NewSelfTuner.
+//
+// Two allocation-lean fast paths engage automatically and never change a
+// single byte of the schedules, decisions, statistics or traces:
+//
+//   - Incremental policy orders. A front end that reports every waiting
+//     queue change through NoteSubmit/NoteRemove (the scheduling engine
+//     does, via engine.QueueTracker) keeps one sorted view per candidate
+//     policy spliced up to date, so Plan skips the per-candidate
+//     O(n log n) re-sort. Every policy's order is total (submission time
+//     and job ID break all ties), so a spliced view is byte-identical to
+//     policy.Order's stable sort. Plan verifies the views cover exactly
+//     the waiting slice it was handed and silently falls back to full
+//     sorts when they do not (e.g. when the engine withholds unplaceable
+//     jobs during a capacity failure).
+//
+//   - Plan memoization. When an event provably cannot change the what-if
+//     schedules — the waiting queue is the same, the availability profile
+//     promises the same processors from the new instant on (a completion
+//     exactly at its estimate), and every retained planned start is still
+//     in the future — Plan reuses the previous candidate schedules,
+//     re-scores them from their fused aggregates and re-runs the decider,
+//     instead of rebuilding. Statistics and traces advance exactly as a
+//     rebuild would.
 type SelfTuner struct {
 	candidates []policy.Policy
 	decider    Decider
@@ -42,6 +67,28 @@ type SelfTuner struct {
 	last       Decision // most recent decision, kept regardless of tracing
 	hasLast    bool
 	workers    int // bound on concurrent candidate builds; <= 1 = sequential
+
+	// Incrementally maintained per-policy orders of the waiting queue,
+	// active once the front end starts calling NoteSubmit/NoteRemove.
+	tracking bool
+	tracked  map[job.ID]*job.Job
+	views    [][]*job.Job // parallel to candidates, each in its policy's order
+
+	// Memoization of the previous event's planning step. prevChosen is
+	// also the schedule handed to the caller, so the tuner never recycles
+	// its storage; the losing candidates never escape and are released
+	// back to the plan pools every step.
+	schedBuf      []*plan.Schedule // reused result slots of one step
+	prevValid     bool
+	prevNow       int64
+	prevCap       int
+	prevBase      *plan.Base // retained for availability comparison; pooled
+	prevWaiting   []*job.Job // reused snapshot of the planned waiting slice
+	prevChosen    *plan.Schedule
+	prevChosenIdx int
+	prevValues    []float64
+	prevMaxEnds   []int64 // per-candidate MaxEstimatedEnd, for re-scoring makespan
+	prevMinStart  int64   // min planned start over all candidates' entries
 }
 
 // NewSelfTuner returns a self-tuner over the given candidate policies
@@ -142,6 +189,68 @@ func (t *SelfTuner) Stats() Stats {
 	return s
 }
 
+// NoteSubmit tells the tuner a job entered the waiting queue. The first
+// call enables the incremental policy-order views; from then on every
+// queue change must be reported (NoteRemove on start or cancel) for the
+// views to stay authoritative — Plan cross-checks them against the
+// waiting slice it is handed and falls back to full sorts on any
+// mismatch, so a missed notification costs speed, never correctness.
+func (t *SelfTuner) NoteSubmit(j *job.Job) {
+	if t.tracked == nil {
+		t.tracked = make(map[job.ID]*job.Job)
+		t.views = make([][]*job.Job, len(t.candidates))
+	}
+	t.tracking = true
+	if old, ok := t.tracked[j.ID]; ok {
+		// Re-submission of a live ID: replace the stale entry so the
+		// views never hold two jobs with one ID.
+		t.NoteRemove(old)
+	}
+	t.tracked[j.ID] = j
+	for i, p := range t.candidates {
+		v := t.views[i]
+		k := sort.Search(len(v), func(m int) bool { return p.Less(j, v[m]) })
+		v = append(v, nil)
+		copy(v[k+1:], v[k:])
+		v[k] = j
+		t.views[i] = v
+	}
+}
+
+// NoteRemove tells the tuner a job left the waiting queue (it started,
+// finished or was cancelled). Unknown jobs are ignored.
+func (t *SelfTuner) NoteRemove(j *job.Job) {
+	if !t.tracking || t.tracked[j.ID] != j {
+		return
+	}
+	delete(t.tracked, j.ID)
+	for i, p := range t.candidates {
+		v := t.views[i]
+		// The policy orders are total, so the leftmost element not less
+		// than j is j itself.
+		k := sort.Search(len(v), func(m int) bool { return !p.Less(v[m], j) })
+		if k >= len(v) || v[k] != j {
+			panic(fmt.Sprintf("core: job %d not at its ordered position in the %v view", j.ID, p))
+		}
+		t.views[i] = append(v[:k], v[k+1:]...)
+	}
+}
+
+// orderedViews returns the per-candidate orders of waiting when the
+// incremental views cover exactly that slice, or nil to request the full
+// sort fallback.
+func (t *SelfTuner) orderedViews(waiting []*job.Job) [][]*job.Job {
+	if !t.tracking || len(t.tracked) != len(waiting) {
+		return nil
+	}
+	for _, j := range waiting {
+		if t.tracked[j.ID] != j {
+			return nil
+		}
+	}
+	return t.views
+}
+
 // Plan performs one self-tuning dynP step: build a what-if schedule per
 // candidate policy, score each, decide, and return the schedule of the
 // chosen policy (reused, not rebuilt). The chosen policy becomes active.
@@ -150,14 +259,45 @@ func (t *SelfTuner) Stats() Stats {
 // candidate builds; with SetWorkers(n > 1) the builds and scoring fan out
 // over a bounded worker pool. Plan panics — before touching any tuner
 // state — when the decider returns a policy outside the candidate set.
+//
+// Ownership: the returned schedule belongs to the caller and is never
+// recycled by the tuner; its entries stay valid indefinitely. All other
+// planning storage (candidate profiles, losing schedules, base profiles)
+// cycles through the plan package's pools.
 func (t *SelfTuner) Plan(now int64, capacity int, running []plan.Running, waiting []*job.Job) *plan.Schedule {
-	schedules := make([]*plan.Schedule, len(t.candidates))
-	values := make([]float64, len(t.candidates))
-	base := plan.BuildBase(now, capacity, running)
+	base := plan.BuildBasePooled(now, capacity, running)
+
+	if s := t.tryMemo(now, capacity, base, waiting); s != nil {
+		return s
+	}
+
+	// Full rebuild: the previous event's base is no longer needed.
+	if t.prevBase != nil {
+		t.prevBase.Release()
+		t.prevBase = nil
+	}
+	t.prevValid = false
+
+	n := len(t.candidates)
+	if cap(t.schedBuf) < n {
+		t.schedBuf = make([]*plan.Schedule, n)
+	}
+	schedules := t.schedBuf[:n]
+	values := make([]float64, n)
+	ordered := t.orderedViews(waiting)
+
+	build := func(i int) {
+		if ordered != nil {
+			schedules[i] = plan.BuildFromOrdered(base, ordered[i], t.candidates[i])
+		} else {
+			schedules[i] = plan.BuildFromPooled(base, waiting, t.candidates[i])
+		}
+		values[i] = t.metric.Score(schedules[i])
+	}
 
 	workers := t.Workers()
-	if workers > len(t.candidates) {
-		workers = len(t.candidates)
+	if workers > n {
+		workers = n
 	}
 	if max := runtime.GOMAXPROCS(0); workers > max {
 		workers = max
@@ -171,19 +311,17 @@ func (t *SelfTuner) Plan(now int64, capacity int, running []plan.Running, waitin
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= len(t.candidates) {
+					if i >= n {
 						return
 					}
-					schedules[i] = plan.BuildFrom(base, waiting, t.candidates[i])
-					values[i] = t.metric.Score(schedules[i])
+					build(i)
 				}
 			}()
 		}
 		wg.Wait()
 	} else {
-		for i, p := range t.candidates {
-			schedules[i] = plan.BuildFrom(base, waiting, p)
-			values[i] = t.metric.Score(schedules[i])
+		for i := range t.candidates {
+			build(i)
 		}
 	}
 	chosen := t.decider.Decide(t.active, t.candidates, values)
@@ -202,6 +340,14 @@ func (t *SelfTuner) Plan(now int64, capacity int, running []plan.Running, waitin
 		panic(fmt.Sprintf("core: decider %s returned non-candidate %v", t.decider.Name(), chosen))
 	}
 
+	t.commit(now, chosen, values)
+	t.saveMemo(now, capacity, base, waiting, schedules, chosenIdx, values)
+	return schedules[chosenIdx]
+}
+
+// commit applies one decision to the tuner's statistics, trace and active
+// policy. values must be a fresh slice (it is retained by LastDecision).
+func (t *SelfTuner) commit(now int64, chosen policy.Policy, values []float64) {
 	t.stats.Steps++
 	t.stats.Chosen[chosen]++
 	if chosen != t.active {
@@ -218,5 +364,98 @@ func (t *SelfTuner) Plan(now int64, capacity int, running []plan.Running, waitin
 		})
 	}
 	t.active = chosen
-	return schedules[chosenIdx]
+}
+
+// saveMemo retains everything the next event needs to prove (or refute)
+// that rebuilding would reproduce this event's schedules, then releases
+// the losing candidates' storage. The aggregates needed for re-scoring
+// are copied out first: a released schedule may be handed to any other
+// build — including one in a concurrently running simulation — at any
+// moment.
+func (t *SelfTuner) saveMemo(now int64, capacity int, base *plan.Base, waiting []*job.Job, schedules []*plan.Schedule, chosenIdx int, values []float64) {
+	n := len(schedules)
+	if cap(t.prevMaxEnds) < n {
+		t.prevMaxEnds = make([]int64, n)
+	}
+	t.prevMaxEnds = t.prevMaxEnds[:n]
+	t.prevMinStart = math.MaxInt64
+	for i, s := range schedules {
+		t.prevMaxEnds[i] = s.MaxEstimatedEnd()
+		if ms := s.MinStart(); ms < t.prevMinStart {
+			t.prevMinStart = ms
+		}
+	}
+	for i, s := range schedules {
+		if i != chosenIdx {
+			s.Release()
+			schedules[i] = nil
+		}
+	}
+	t.prevValid = true
+	t.prevNow, t.prevCap = now, capacity
+	t.prevBase = base
+	t.prevWaiting = append(t.prevWaiting[:0], waiting...)
+	t.prevChosen, t.prevChosenIdx = schedules[chosenIdx], chosenIdx
+	t.prevValues = values
+}
+
+// tryMemo reuses the previous event's planning step when rebuilding is
+// provably redundant. The conditions, each required for the proof that a
+// rebuild reproduces the retained schedules byte-for-byte:
+//
+//   - same capacity and a non-empty, elementwise-identical waiting slice
+//     (identical jobs => identical policy orders);
+//   - every retained planned start is >= the new instant (no entry has
+//     silently slipped into the past);
+//   - the new base profile equals the previous one over [now, infinity)
+//     (the machine promises the same future availability — e.g. the only
+//     change since the last event is a completion exactly at its
+//     estimate, whose reservation the planner had already written off).
+//
+// Under those conditions every candidate's placement recursion visits the
+// same profile states and produces the same entries, so the fused scores
+// are reusable as-is (re-derived from the retained max estimated ends for
+// the Now-relative makespan metric). The decider is re-run on those
+// scores — its tie-breaks may consult the active policy, which a rebuild
+// would also see — and on the standard deciders it provably re-selects
+// the retained choice; if a custom decider picks another candidate, whose
+// schedule is already released, tryMemo reports a miss and the full
+// rebuild supplies it.
+func (t *SelfTuner) tryMemo(now int64, capacity int, base *plan.Base, waiting []*job.Job) *plan.Schedule {
+	if !t.prevValid || capacity != t.prevCap || now < t.prevNow ||
+		len(waiting) == 0 || len(waiting) != len(t.prevWaiting) ||
+		t.prevMinStart < now {
+		return nil
+	}
+	for i, j := range waiting {
+		if t.prevWaiting[i] != j {
+			return nil
+		}
+	}
+	if !base.EqualFrom(t.prevBase, now) {
+		return nil
+	}
+
+	values := make([]float64, len(t.candidates))
+	if t.metric == MetricMakespan {
+		for i, end := range t.prevMaxEnds {
+			if end != 0 {
+				values[i] = float64(end - now)
+			}
+		}
+	} else {
+		copy(values, t.prevValues)
+	}
+	chosen := t.decider.Decide(t.active, t.candidates, values)
+	if chosen != t.candidates[t.prevChosenIdx] {
+		return nil
+	}
+
+	t.commit(now, chosen, values)
+	t.prevChosen.Now = now
+	t.prevBase.Release()
+	t.prevBase = base
+	t.prevNow = now
+	t.prevValues = values
+	return t.prevChosen
 }

@@ -48,6 +48,17 @@ type Driver interface {
 	ActivePolicy() policy.Policy
 }
 
+// QueueTracker is an optional Driver extension. A driver that keeps
+// incrementally-updated orders of the waiting queue (the self-tuning
+// dynP driver does, see core.SelfTuner.NoteSubmit) implements it to be
+// told about every waiting-queue change; the engine then reports each
+// submission and each removal (start or cancel) as it happens. Purely an
+// optimisation: a driver that never hears a notification just re-sorts.
+type QueueTracker interface {
+	NoteSubmit(j *job.Job)
+	NoteRemove(j *job.Job)
+}
+
 // FinishState says why a job left the machine.
 type FinishState int
 
@@ -78,6 +89,7 @@ type Engine struct {
 	capacity int // installed processors
 	failed   int // processors currently failed
 	driver   Driver
+	tracker  QueueTracker // non-nil when the driver wants queue notifications
 	now      int64
 	victims  VictimPolicy
 	hooks    Hooks
@@ -125,6 +137,9 @@ func New(capacity int, driver Driver, start int64, opts ...Option) *Engine {
 		victims:    VictimLastStarted,
 		waitingIdx: make(map[job.ID]int),
 		runningIdx: make(map[job.ID]int),
+	}
+	if t, ok := driver.(QueueTracker); ok {
+		e.tracker = t
 	}
 	for _, o := range opts {
 		o(e)
@@ -207,6 +222,9 @@ func (e *Engine) JumpTo(t int64) {
 func (e *Engine) Submit(j *job.Job) {
 	e.waitingIdx[j.ID] = len(e.waiting)
 	e.waiting = append(e.waiting, j)
+	if e.tracker != nil {
+		e.tracker.NoteSubmit(j)
+	}
 	e.emit(Event{Kind: EventSubmit, Job: j, Procs: j.Width})
 }
 
@@ -473,6 +491,9 @@ func (e *Engine) removeWaiting(id job.ID) (*job.Job, bool) {
 	delete(e.waitingIdx, id)
 	for k := i; k < len(e.waiting); k++ {
 		e.waitingIdx[e.waiting[k].ID] = k
+	}
+	if e.tracker != nil {
+		e.tracker.NoteRemove(j)
 	}
 	return j, true
 }

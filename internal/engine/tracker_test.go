@@ -1,0 +1,69 @@
+package engine_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dynp/internal/engine"
+	"dynp/internal/job"
+)
+
+// trackingDriver is a Driver that also implements engine.QueueTracker,
+// recording every notification it receives.
+type trackingDriver struct {
+	engine.Driver
+	log []string
+}
+
+func (d *trackingDriver) NoteSubmit(j *job.Job) { d.log = append(d.log, fmt.Sprintf("+%d", j.ID)) }
+func (d *trackingDriver) NoteRemove(j *job.Job) { d.log = append(d.log, fmt.Sprintf("-%d", j.ID)) }
+
+func TestQueueTrackerNotifications(t *testing.T) {
+	d := &trackingDriver{Driver: fcfs()}
+	e := engine.New(4, d, 0)
+
+	// Submissions notify in order.
+	e.Submit(mkJob(1, 0, 4, 100))
+	e.Submit(mkJob(2, 0, 2, 50))
+	e.Submit(mkJob(3, 0, 2, 30))
+
+	// Cancel notifies a removal.
+	if !e.CancelWaiting(3) {
+		t.Fatal("cancel failed")
+	}
+
+	// Launch notifies a removal for every started job: job 1 occupies the
+	// whole machine, job 2 stays queued.
+	if err := e.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"+1", "+2", "+3", "-3", "-1"}
+	if !reflect.DeepEqual(d.log, want) {
+		t.Fatalf("notification log %v, want %v", d.log, want)
+	}
+
+	// Finishing a running job is not a queue change; the follow-up replan
+	// launches job 2 and notifies that removal only.
+	e.JumpTo(100)
+	e.Finish(1, engine.FinishCompleted)
+	if err := e.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, "-2")
+	if !reflect.DeepEqual(d.log, want) {
+		t.Fatalf("notification log %v, want %v", d.log, want)
+	}
+}
+
+// TestQueueTrackerOptional: a driver without the interface works untouched.
+func TestQueueTrackerOptional(t *testing.T) {
+	e := engine.New(4, fcfs(), 0)
+	e.Submit(mkJob(1, 0, 1, 10))
+	if err := e.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsRunning(1) {
+		t.Fatal("job did not start")
+	}
+}

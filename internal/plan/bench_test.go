@@ -82,6 +82,58 @@ func BenchmarkBuildBaseReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildFromPooled contrasts the pooled and unpooled candidate
+// build at a running-job-heavy event, with allocation reporting — the
+// headline measurement of the allocation-lean planning path. Each
+// iteration builds one full candidate set (the work of one self-tuning
+// step) and releases what a tuner would release.
+func BenchmarkBuildFromPooled(b *testing.B) {
+	const capacity = 128
+	for _, queued := range []int{64, 256, 1024} {
+		running, waiting := randomState(5, capacity, 32, queued)
+		name := fmt.Sprintf("queue%d", queued)
+		b.Run(name+"/unpooled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				base := BuildBase(1000, capacity, running)
+				for _, p := range policy.Candidates {
+					s := BuildFrom(base, waiting, p)
+					s.PlannedSLDwA()
+				}
+			}
+		})
+		b.Run(name+"/pooled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				base := BuildBasePooled(1000, capacity, running)
+				for _, p := range policy.Candidates {
+					s := BuildFromPooled(base, waiting, p)
+					s.PlannedSLDwA()
+					s.Release()
+				}
+				base.Release()
+			}
+		})
+		b.Run(name+"/pooled-ordered", func(b *testing.B) {
+			orders := make([][]*job.Job, len(policy.Candidates))
+			for i, p := range policy.Candidates {
+				orders[i] = p.Order(waiting)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				base := BuildBasePooled(1000, capacity, running)
+				for k, p := range policy.Candidates {
+					s := BuildFromOrdered(base, orders[k], p)
+					s.PlannedSLDwA()
+					s.Release()
+				}
+				base.Release()
+			}
+		})
+	}
+}
+
 // BenchmarkPlannedSLDwA measures schedule scoring.
 func BenchmarkPlannedSLDwA(b *testing.B) {
 	r := rng.New(8)

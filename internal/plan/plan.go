@@ -14,6 +14,8 @@ package plan
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"dynp/internal/job"
 	"dynp/internal/policy"
@@ -45,6 +47,45 @@ type Schedule struct {
 	Capacity int
 	Policy   policy.Policy
 	Entries  []Entry // in placement (policy) order
+
+	// Fused scoring state: the builders accumulate every metric's sums in
+	// the placement pass, so the Planned* accessors need not re-walk the
+	// entries. Schedules assembled by hand (entry-by-entry, e.g. the EASY
+	// driver's) leave scored false and the accessors fall back to walking.
+	scored   bool
+	sums     aggregates
+	released bool // guards double-Release of pooled storage
+}
+
+// aggregates holds the per-metric running sums of one placement pass. The
+// accumulation expressions and their order mirror the Planned* walking
+// loops exactly, so fused and walked scores are byte-identical.
+type aggregates struct {
+	sldNum, sldDen     float64 // PlannedSLDwA
+	artSum             float64 // PlannedART
+	artwwNum, artwwDen float64 // PlannedARTwW
+	awtSum             float64 // PlannedAWT
+	maxEnd             int64   // PlannedMakespan (0 when no entries)
+	minStart           int64   // earliest planned start (MaxInt64 when none)
+}
+
+// accumulate folds one placed entry into the running sums.
+func (a *aggregates) accumulate(j *job.Job, start int64) {
+	area := float64(j.EstimatedArea())
+	sld := float64(start-j.Submit+j.Estimate) / float64(j.Estimate)
+	a.sldNum += area * sld
+	a.sldDen += area
+	a.artSum += float64(start - j.Submit + j.Estimate)
+	w := float64(j.Width)
+	a.artwwNum += w * float64(start-j.Submit+j.Estimate)
+	a.artwwDen += w
+	a.awtSum += float64(start - j.Submit)
+	if end := j.EstimatedEnd(start); end > a.maxEnd {
+		a.maxEnd = end
+	}
+	if start < a.minStart {
+		a.minStart = start
+	}
 }
 
 // Base is the reusable starting state of schedule construction at one
@@ -60,28 +101,122 @@ type Base struct {
 	prof     *profile.Profile
 }
 
+// The hot-path arenas. One self-tuning step builds a base profile, one
+// candidate profile clone per policy, and one Schedule (with its Entry
+// slice) per policy — at every scheduling event, over a full SWF trace.
+// The pools let that storage cycle instead of being reallocated: candidate
+// profiles are returned the moment a build finishes, losing candidate
+// schedules after scoring (see Schedule.Release), base profiles when the
+// next event's base replaces them (see Base.Release). sync.Pool is safe
+// for the tuner's concurrent candidate builds and for concurrent
+// simulations sharing the package-level pools.
+var (
+	profilePool  = sync.Pool{New: func() any { return new(profile.Profile) }}
+	schedulePool = sync.Pool{New: func() any { return new(Schedule) }}
+	basePool     = sync.Pool{New: func() any { return new(Base) }}
+)
+
 // BuildBase constructs the shared planning state for one scheduling
 // event: running jobs block their processors until their estimated end.
 func BuildBase(now int64, capacity int, running []Running) *Base {
-	prof := profile.New(capacity, now)
+	b := &Base{}
+	buildBaseInto(b, profile.New(capacity, now), now, capacity, running)
+	return b
+}
+
+// BuildBasePooled is BuildBase drawing its storage from the package pools.
+// The caller owns the result and must call Release exactly once when no
+// builds derived from it can run anymore; until then the Base must stay
+// alive (BuildFrom* clone it per candidate).
+func BuildBasePooled(now int64, capacity int, running []Running) *Base {
+	b := basePool.Get().(*Base)
+	prof := profilePool.Get().(*profile.Profile)
+	prof.Reset(capacity, now)
+	buildBaseInto(b, prof, now, capacity, running)
+	return b
+}
+
+func buildBaseInto(b *Base, prof *profile.Profile, now int64, capacity int, running []Running) {
 	for _, r := range running {
 		if rem := r.EstimatedEnd() - now; rem > 0 {
 			prof.Alloc(now, r.Job.Width, rem)
 		}
 	}
-	return &Base{Now: now, Capacity: capacity, prof: prof}
+	b.Now, b.Capacity, b.prof = now, capacity, prof
+}
+
+// Release returns a pooled base's storage to the arena. Only the owner of
+// a Base obtained from BuildBasePooled may call it, and only once; the
+// Base and any profile view of it are invalid afterwards. Releasing a
+// Base from BuildBase is also legal — its storage simply joins the pool.
+func (b *Base) Release() {
+	if b.prof == nil {
+		panic("plan: Base released twice")
+	}
+	profilePool.Put(b.prof)
+	b.prof = nil
+	basePool.Put(b)
 }
 
 // Profile returns a copy of the base availability profile, for tests and
 // debugging output.
 func (b *Base) Profile() *profile.Profile { return b.prof.Clone() }
 
+// EqualFrom reports whether two bases promise the same free processors
+// over [from, infinity) — the availability-equality half of the tuner's
+// plan-memoization check (see core.SelfTuner).
+func (b *Base) EqualFrom(o *Base, from int64) bool {
+	return b.prof.EqualFrom(o.prof, from)
+}
+
 // BuildFrom computes the schedule for the waiting jobs under policy p,
 // starting from a clone of the base profile. The base is not modified,
 // so sibling candidate builds may run concurrently from the same base.
 // The waiting slice is not modified.
 func BuildFrom(b *Base, waiting []*job.Job, p policy.Policy) *Schedule {
-	return buildOnto(b.prof.Clone(), b.Now, b.Capacity, waiting, p)
+	s := &Schedule{}
+	buildOnto(s, b.prof.Clone(), b.Now, b.Capacity, p.Order(waiting), p)
+	return s
+}
+
+// BuildFromPooled is BuildFrom with every piece of scratch storage drawn
+// from the package pools: the candidate profile clone (returned to the
+// pool before BuildFromPooled returns — it is consumed by the build) and
+// the Schedule itself. The caller owns the returned Schedule; if it never
+// escapes, Release recycles it.
+func BuildFromPooled(b *Base, waiting []*job.Job, p policy.Policy) *Schedule {
+	return buildPooled(b, p.Order(waiting), p)
+}
+
+// BuildFromOrdered is BuildFromPooled for a waiting queue that is already
+// in policy p's order (policy.Order's output, or an incrementally
+// maintained view of it — see core.SelfTuner). The ordered slice is not
+// modified and must not change while the build runs.
+func BuildFromOrdered(b *Base, ordered []*job.Job, p policy.Policy) *Schedule {
+	return buildPooled(b, ordered, p)
+}
+
+func buildPooled(b *Base, ordered []*job.Job, p policy.Policy) *Schedule {
+	prof := profilePool.Get().(*profile.Profile)
+	b.prof.CloneInto(prof)
+	s := schedulePool.Get().(*Schedule)
+	buildOnto(s, prof, b.Now, b.Capacity, ordered, p)
+	profilePool.Put(prof)
+	return s
+}
+
+// Release returns a schedule's storage (the Entry slice and the Schedule
+// struct itself) to the pool. Only an owner that knows no other reference
+// exists may call it: the self-tuner releases the losing what-if
+// candidates after scoring, which never escape it; the chosen schedule is
+// handed to the caller and must NOT be released by the tuner. Double
+// release panics.
+func (s *Schedule) Release() {
+	if s.released {
+		panic("plan: Schedule released twice")
+	}
+	s.released = true
+	schedulePool.Put(s)
 }
 
 // Build computes a full schedule for the waiting jobs under policy p.
@@ -90,19 +225,31 @@ func BuildFrom(b *Base, waiting []*job.Job, p policy.Policy) *Schedule {
 // BuildFrom without the defensive clone.
 func Build(now int64, capacity int, running []Running, waiting []*job.Job, p policy.Policy) *Schedule {
 	b := BuildBase(now, capacity, running)
-	return buildOnto(b.prof, b.Now, b.Capacity, waiting, p)
+	s := &Schedule{}
+	buildOnto(s, b.prof, b.Now, b.Capacity, p.Order(waiting), p)
+	return s
 }
 
-// buildOnto places the waiting jobs in policy order onto prof, which it
-// consumes (the caller must not reuse it).
-func buildOnto(prof *profile.Profile, now int64, capacity int, waiting []*job.Job, p policy.Policy) *Schedule {
-	s := &Schedule{Now: now, Capacity: capacity, Policy: p,
-		Entries: make([]Entry, 0, len(waiting))}
-	for _, j := range p.Order(waiting) {
+// buildOnto places the ordered jobs onto prof, which it consumes (the
+// caller must not reuse it), filling s. Metric sums are accumulated in the
+// same pass (see aggregates), so scoring the result re-walks nothing.
+func buildOnto(s *Schedule, prof *profile.Profile, now int64, capacity int, ordered []*job.Job, p policy.Policy) {
+	entries := s.Entries[:0]
+	if entries == nil || cap(entries) < len(ordered) {
+		// Always non-nil, even for an empty queue, matching the historic
+		// builders so empty schedules stay indistinguishable from them.
+		entries = make([]Entry, 0, len(ordered))
+	}
+	*s = Schedule{Now: now, Capacity: capacity, Policy: p,
+		Entries: entries,
+		scored:  true,
+		sums:    aggregates{minStart: math.MaxInt64},
+	}
+	for _, j := range ordered {
 		start := prof.Place(now, j.Width, j.Estimate)
 		s.Entries = append(s.Entries, Entry{Job: j, Start: start})
+		s.sums.accumulate(j, start)
 	}
-	return s
 }
 
 // StartingNow returns the entries whose planned start time equals the
@@ -124,12 +271,14 @@ func (s *Schedule) StartingNow() []Entry {
 // sum(a_i*s_i)/sum(a_i) with a_i the estimated area and s_i =
 // (wait_i+estimate_i)/estimate_i. An empty plan scores 0.
 func (s *Schedule) PlannedSLDwA() float64 {
-	var num, den float64
-	for _, e := range s.Entries {
-		a := float64(e.Job.EstimatedArea())
-		sld := float64(e.Start-e.Job.Submit+e.Job.Estimate) / float64(e.Job.Estimate)
-		num += a * sld
-		den += a
+	num, den := s.sums.sldNum, s.sums.sldDen
+	if !s.scored {
+		for _, e := range s.Entries {
+			a := float64(e.Job.EstimatedArea())
+			sld := float64(e.Start-e.Job.Submit+e.Job.Estimate) / float64(e.Job.Estimate)
+			num += a * sld
+			den += a
+		}
 	}
 	if den == 0 {
 		return 0
@@ -143,9 +292,11 @@ func (s *Schedule) PlannedART() float64 {
 	if len(s.Entries) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, e := range s.Entries {
-		sum += float64(e.Start - e.Job.Submit + e.Job.Estimate)
+	sum := s.sums.artSum
+	if !s.scored {
+		for _, e := range s.Entries {
+			sum += float64(e.Start - e.Job.Submit + e.Job.Estimate)
+		}
 	}
 	return sum / float64(len(s.Entries))
 }
@@ -154,11 +305,13 @@ func (s *Schedule) PlannedART() float64 {
 // which the paper notes is proportional to SLDwA for a fixed job set.
 // An empty plan scores 0.
 func (s *Schedule) PlannedARTwW() float64 {
-	var num, den float64
-	for _, e := range s.Entries {
-		w := float64(e.Job.Width)
-		num += w * float64(e.Start-e.Job.Submit+e.Job.Estimate)
-		den += w
+	num, den := s.sums.artwwNum, s.sums.artwwDen
+	if !s.scored {
+		for _, e := range s.Entries {
+			w := float64(e.Job.Width)
+			num += w * float64(e.Start-e.Job.Submit+e.Job.Estimate)
+			den += w
+		}
 	}
 	if den == 0 {
 		return 0
@@ -171,9 +324,11 @@ func (s *Schedule) PlannedAWT() float64 {
 	if len(s.Entries) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, e := range s.Entries {
-		sum += float64(e.Start - e.Job.Submit)
+	sum := s.sums.awtSum
+	if !s.scored {
+		for _, e := range s.Entries {
+			sum += float64(e.Start - e.Job.Submit)
+		}
 	}
 	return sum / float64(len(s.Entries))
 }
@@ -182,16 +337,44 @@ func (s *Schedule) PlannedAWT() float64 {
 // entries, as an offset from Now (so schedules at different instants are
 // comparable). An empty plan scores 0.
 func (s *Schedule) PlannedMakespan() float64 {
+	end := s.MaxEstimatedEnd()
+	if end == 0 {
+		return 0
+	}
+	return float64(end - s.Now)
+}
+
+// MaxEstimatedEnd returns the latest estimated completion time over the
+// entries, 0 when there are none (PlannedMakespan's convention). Together
+// with a later Now it reproduces PlannedMakespan without the entries —
+// the tuner's memoization uses it to re-score a retained plan.
+func (s *Schedule) MaxEstimatedEnd() int64 {
+	if s.scored {
+		return s.sums.maxEnd
+	}
 	var end int64
 	for _, e := range s.Entries {
 		if t := e.Job.EstimatedEnd(e.Start); t > end {
 			end = t
 		}
 	}
-	if end == 0 {
-		return 0
+	return end
+}
+
+// MinStart returns the earliest planned start over the entries, or
+// math.MaxInt64 when there are none. The tuner's memoization requires it
+// to be >= the new event time before reusing a retained plan.
+func (s *Schedule) MinStart() int64 {
+	if s.scored {
+		return s.sums.minStart
 	}
-	return float64(end - s.Now)
+	min := int64(math.MaxInt64)
+	for _, e := range s.Entries {
+		if e.Start < min {
+			min = e.Start
+		}
+	}
+	return min
 }
 
 // Verify checks that the schedule is feasible: no entry starts before Now

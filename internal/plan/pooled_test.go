@@ -1,0 +1,138 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"dynp/internal/policy"
+)
+
+// TestPooledMatchesUnpooled drives the pooled builders through many random
+// machine states — repeatedly, so pooled storage actually cycles — and
+// requires byte-identical schedules and scores from the unpooled path.
+func TestPooledMatchesUnpooled(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		running, waiting := randomState(seed, 32, 6, 24)
+		now := int64(0)
+
+		base := BuildBase(now, 32, running)
+		pooled := BuildBasePooled(now, 32, running)
+		if !base.EqualFrom(pooled, now) {
+			t.Fatalf("seed %d: pooled base differs from unpooled", seed)
+		}
+		for _, p := range policy.Candidates {
+			want := BuildFrom(base, waiting, p)
+			got := BuildFromPooled(pooled, waiting, p)
+			assertSameSchedule(t, got, want)
+			ordered := p.Order(waiting)
+			got2 := BuildFromOrdered(pooled, ordered, p)
+			assertSameSchedule(t, got2, want)
+			got.Release()
+			got2.Release()
+		}
+		pooled.Release()
+	}
+}
+
+func assertSameSchedule(t *testing.T, got, want *Schedule) {
+	t.Helper()
+	if len(got.Entries) != len(want.Entries) ||
+		got.Now != want.Now || got.Capacity != want.Capacity || got.Policy != want.Policy {
+		t.Fatalf("schedule header mismatch: %+v vs %+v", got, want)
+	}
+	for i := range want.Entries {
+		if got.Entries[i] != want.Entries[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, got.Entries[i], want.Entries[i])
+		}
+	}
+	type scores struct{ a, b, c, d, e float64 }
+	g := scores{got.PlannedSLDwA(), got.PlannedART(), got.PlannedARTwW(), got.PlannedAWT(), got.PlannedMakespan()}
+	w := scores{want.PlannedSLDwA(), want.PlannedART(), want.PlannedARTwW(), want.PlannedAWT(), want.PlannedMakespan()}
+	if g != w {
+		t.Fatalf("scores mismatch: %+v vs %+v", g, w)
+	}
+}
+
+// TestFusedScoresMatchWalked compares the fused (accumulated during
+// placement) scores against the walking fallback, which an unscored copy
+// of the same schedule exercises. Byte equality required, not tolerance.
+func TestFusedScoresMatchWalked(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		running, waiting := randomState(seed, 16, 4, 32)
+		for _, p := range policy.Candidates {
+			s := Build(0, 16, running, waiting, p)
+			if !s.scored {
+				t.Fatal("builder output not marked scored")
+			}
+			walked := &Schedule{Now: s.Now, Capacity: s.Capacity, Policy: s.Policy, Entries: s.Entries}
+			if s.PlannedSLDwA() != walked.PlannedSLDwA() ||
+				s.PlannedART() != walked.PlannedART() ||
+				s.PlannedARTwW() != walked.PlannedARTwW() ||
+				s.PlannedAWT() != walked.PlannedAWT() ||
+				s.PlannedMakespan() != walked.PlannedMakespan() ||
+				s.MaxEstimatedEnd() != walked.MaxEstimatedEnd() ||
+				s.MinStart() != walked.MinStart() {
+				t.Fatalf("seed %d %v: fused scores differ from walked", seed, p)
+			}
+		}
+	}
+}
+
+func TestUnscoredEmptyScheduleConventions(t *testing.T) {
+	s := &Schedule{Now: 10, Capacity: 4}
+	if s.PlannedSLDwA() != 0 || s.PlannedART() != 0 || s.PlannedMakespan() != 0 {
+		t.Fatal("empty unscored schedule must score 0")
+	}
+	if s.MinStart() != math.MaxInt64 {
+		t.Fatalf("empty MinStart = %d, want MaxInt64", s.MinStart())
+	}
+	if s.MaxEstimatedEnd() != 0 {
+		t.Fatalf("empty MaxEstimatedEnd = %d, want 0", s.MaxEstimatedEnd())
+	}
+}
+
+func TestScheduleDoubleReleasePanics(t *testing.T) {
+	base := BuildBasePooled(0, 8, nil)
+	s := BuildFromPooled(base, nil, policy.FCFS)
+	s.Release()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Schedule.Release did not panic")
+			}
+		}()
+		s.Release()
+	}()
+	base.Release()
+}
+
+func TestBaseDoubleReleasePanics(t *testing.T) {
+	base := BuildBasePooled(0, 8, nil)
+	base.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("double Base.Release did not panic")
+		}
+	}()
+	base.Release()
+}
+
+// TestPooledScheduleReuseDoesNotAliasEscaped reproduces the ownership
+// discipline: an escaped (never released) schedule must keep its entries
+// intact while the pools hand storage to later builds.
+func TestPooledScheduleReuseDoesNotAliasEscaped(t *testing.T) {
+	running, waiting := randomState(7, 16, 3, 16)
+	base := BuildBasePooled(0, 16, running)
+	kept := BuildFromPooled(base, waiting, policy.SJF)
+	snapshot := append([]Entry(nil), kept.Entries...)
+	for i := 0; i < 50; i++ {
+		loser := BuildFromPooled(base, waiting, policy.Candidates[i%len(policy.Candidates)])
+		loser.Release()
+	}
+	base.Release()
+	for i, e := range kept.Entries {
+		if e != snapshot[i] {
+			t.Fatalf("escaped schedule entry %d mutated by pool reuse: %+v vs %+v", i, e, snapshot[i])
+		}
+	}
+}

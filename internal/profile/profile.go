@@ -68,12 +68,11 @@ func (p *Profile) find(t int64) int {
 
 // EarliestFit returns the earliest time >= earliest at which width
 // processors are free for the whole interval [t, t+duration). It panics if
-// width exceeds the capacity or the arguments are non-positive.
+// width exceeds the capacity, the arguments are non-positive, or earliest
+// precedes the profile start — the profile carries no information about
+// the past, so asking for it is a scheduler bug.
 func (p *Profile) EarliestFit(earliest int64, width int, duration int64) int64 {
-	p.check(width, duration)
-	if earliest < p.steps[0].time {
-		earliest = p.steps[0].time
-	}
+	p.check(earliest, width, duration)
 	i := p.find(earliest)
 	for {
 		// Candidate start: beginning of step i, but not before earliest.
@@ -111,9 +110,13 @@ func (p *Profile) EarliestFit(earliest int64, width int, duration int64) int64 {
 // Alloc reserves width processors over [start, start+duration). The caller
 // must have obtained start from EarliestFit (or otherwise guarantee the
 // interval fits); Alloc panics when the reservation would drive any step
-// negative, as that indicates a scheduler bug.
+// negative, as that indicates a scheduler bug. It also panics when start
+// precedes the profile start: the steps before the profile begin are not
+// represented, so such a reservation would be silently clipped to
+// [p.Start(), start+duration) — a shrunken reservation the caller never
+// asked for.
 func (p *Profile) Alloc(start int64, width int, duration int64) {
-	p.check(width, duration)
+	p.check(start, width, duration)
 	end := start + duration
 	p.splitAt(start)
 	p.splitAt(end)
@@ -151,7 +154,10 @@ func (p *Profile) splitAt(t int64) {
 	p.steps[i+1] = step{time: t, free: p.steps[i].free}
 }
 
-func (p *Profile) check(width int, duration int64) {
+func (p *Profile) check(start int64, width int, duration int64) {
+	if start < p.steps[0].time {
+		panic(fmt.Sprintf("profile: time %d precedes profile start %d", start, p.steps[0].time))
+	}
 	if width < 1 || width > p.capacity {
 		panic(fmt.Sprintf("profile: width %d out of [1, %d]", width, p.capacity))
 	}
@@ -178,6 +184,74 @@ func (p *Profile) Clone() *Profile {
 		capacity: p.capacity,
 		steps:    append([]step(nil), p.steps...),
 	}
+}
+
+// CloneInto makes dst an independent deep copy of p, reusing dst's step
+// storage when it is large enough. A zero-value dst is valid. This is the
+// allocation-lean sibling of Clone: a pooled destination reaches a steady
+// state where cloning allocates nothing.
+func (p *Profile) CloneInto(dst *Profile) {
+	dst.capacity = p.capacity
+	dst.steps = append(dst.steps[:0], p.steps...)
+}
+
+// Reset reinitialises p to a machine with the given capacity where all
+// processors are free from start onwards, reusing the step storage. A
+// zero-value p is valid. It panics if capacity < 1, like New.
+func (p *Profile) Reset(capacity int, start int64) {
+	if capacity < 1 {
+		panic(fmt.Sprintf("profile: capacity %d < 1", capacity))
+	}
+	p.capacity = capacity
+	p.steps = append(p.steps[:0], step{time: start, free: capacity})
+}
+
+// EqualFrom reports whether p and o describe the same free-processor step
+// function over [from, infinity) and share the same capacity. Redundant
+// steps (adjacent steps with equal free counts, which Alloc can leave
+// behind) do not affect the result: the comparison is semantic, not
+// representational. Both profiles must cover from (i.e. from must not
+// precede either profile's start).
+func (p *Profile) EqualFrom(o *Profile, from int64) bool {
+	if p.capacity != o.capacity {
+		return false
+	}
+	if from < p.steps[0].time || from < o.steps[0].time {
+		panic(fmt.Sprintf("profile: EqualFrom(%d) precedes a profile start (%d, %d)",
+			from, p.steps[0].time, o.steps[0].time))
+	}
+	i, j := p.find(from), o.find(from)
+	for {
+		if p.steps[i].free != o.steps[j].free {
+			return false
+		}
+		// Advance both to their next effective value change; every step
+		// behind index find(from) has time > from.
+		ni, iok := p.nextChange(i)
+		nj, jok := o.nextChange(j)
+		if iok != jok {
+			return false
+		}
+		if !iok {
+			return true
+		}
+		if p.steps[ni].time != o.steps[nj].time {
+			return false
+		}
+		i, j = ni, nj
+	}
+}
+
+// nextChange returns the index of the first step after i whose free count
+// differs from step i's, skipping redundant equal-valued steps.
+func (p *Profile) nextChange(i int) (int, bool) {
+	cur := p.steps[i].free
+	for k := i + 1; k < len(p.steps); k++ {
+		if p.steps[k].free != cur {
+			return k, true
+		}
+	}
+	return 0, false
 }
 
 // String renders the profile compactly for debugging.

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -123,6 +124,134 @@ func TestCheckPanics(t *testing.T) {
 			fn()
 		}()
 	}
+}
+
+func TestPreStartPanics(t *testing.T) {
+	// Regression: Alloc with a start before the profile start used to
+	// silently clip the reservation — New(4,100) then Alloc(50,2,100)
+	// reserved only [100,150), shrinking a 100 s reservation to 50 s with
+	// no error. All entry points must panic instead.
+	for name, fn := range map[string]func(p *Profile){
+		"Alloc":       func(p *Profile) { p.Alloc(50, 2, 100) },
+		"EarliestFit": func(p *Profile) { p.EarliestFit(50, 2, 100) },
+		"Place":       func(p *Profile) { p.Place(50, 2, 100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with pre-start time did not panic", name)
+				}
+			}()
+			fn(New(4, 100))
+		}()
+	}
+	// The boundary itself stays valid.
+	p := New(4, 100)
+	if got := p.Place(100, 2, 100); got != 100 {
+		t.Fatalf("Place at profile start = %d, want 100", got)
+	}
+}
+
+func TestCloneIntoMatchesClone(t *testing.T) {
+	p := New(8, 5)
+	p.Alloc(10, 3, 20)
+	p.Alloc(25, 5, 5)
+
+	var dst Profile
+	p.CloneInto(&dst)
+	want := p.Clone()
+	wt, wf := want.Steps()
+	gt, gf := dst.Steps()
+	if fmt.Sprint(wt, wf) != fmt.Sprint(gt, gf) || dst.Capacity() != want.Capacity() {
+		t.Fatalf("CloneInto mismatch: got %v, want %v", &dst, want)
+	}
+
+	// Independence: mutating the destination leaves the source alone.
+	dst.Alloc(10, 5, 10)
+	if got := p.FreeAt(10); got != 5 {
+		t.Fatalf("CloneInto destination mutation leaked into source: free %d", got)
+	}
+
+	// Reuse: cloning a smaller profile into the same destination must not
+	// retain stale steps.
+	q := New(4, 0)
+	q.CloneInto(&dst)
+	gt, gf = dst.Steps()
+	if len(gt) != 1 || gt[0] != 0 || gf[0] != 4 {
+		t.Fatalf("CloneInto reuse kept stale steps: times %v free %v", gt, gf)
+	}
+}
+
+func TestResetMatchesNew(t *testing.T) {
+	p := New(8, 0)
+	p.Alloc(0, 8, 100)
+	p.Alloc(100, 4, 50)
+	p.Reset(16, 42)
+	want := New(16, 42)
+	wt, wf := want.Steps()
+	gt, gf := p.Steps()
+	if fmt.Sprint(wt, wf) != fmt.Sprint(gt, gf) || p.Capacity() != 16 {
+		t.Fatalf("Reset: got %v, want %v", p, want)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Reset with capacity 0 did not panic")
+			}
+		}()
+		p.Reset(0, 0)
+	}()
+}
+
+func TestEqualFrom(t *testing.T) {
+	mk := func(start int64, allocs ...[3]int64) *Profile {
+		p := New(8, start)
+		for _, a := range allocs {
+			p.Alloc(a[0], int(a[1]), a[2])
+		}
+		return p
+	}
+	base := mk(0, [3]int64{10, 3, 20})
+	if !base.EqualFrom(base.Clone(), 0) {
+		t.Fatal("profile not equal to its clone")
+	}
+	// Different starts but identical futures: a profile that began
+	// earlier equals one beginning now, compared from now.
+	if !mk(0, [3]int64{10, 3, 20}).EqualFrom(mk(5, [3]int64{10, 3, 20}), 5) {
+		t.Fatal("identical futures with different starts not equal")
+	}
+	// A past difference must not matter when comparing from later.
+	past := mk(0, [3]int64{0, 2, 5}, [3]int64{10, 3, 20})
+	if !past.EqualFrom(base, 5) {
+		t.Fatal("past-only difference reported as unequal")
+	}
+	if past.EqualFrom(base, 3) {
+		t.Fatal("live difference at t=3..5 reported as equal")
+	}
+	// Redundant steps (Alloc boundaries with equal free counts on both
+	// sides) are semantic no-ops.
+	red := base.Clone()
+	red.Alloc(40, 1, 10)
+	red2 := base.Clone()
+	red2.Alloc(40, 1, 5)
+	red2.Alloc(45, 1, 5)
+	if !red.EqualFrom(red2, 0) {
+		t.Fatal("redundant step boundaries broke semantic equality")
+	}
+	if base.EqualFrom(New(4, 0), 0) {
+		t.Fatal("different capacities reported as equal")
+	}
+	if base.EqualFrom(mk(0, [3]int64{10, 3, 21}), 0) {
+		t.Fatal("different step times reported as equal")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EqualFrom before both starts did not panic")
+			}
+		}()
+		mk(5).EqualFrom(mk(0), 3)
+	}()
 }
 
 func TestCloneIsIndependent(t *testing.T) {

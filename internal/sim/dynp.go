@@ -50,6 +50,14 @@ func (d *DynP) Plan(now int64, capacity int, running []plan.Running, waiting []*
 // ActivePolicy implements Driver.
 func (d *DynP) ActivePolicy() policy.Policy { return d.Tuner.Active() }
 
+// NoteSubmit implements engine.QueueTracker: the tuner keeps one
+// incrementally-spliced order of the waiting queue per candidate policy,
+// sparing every self-tuning step its three full re-sorts.
+func (d *DynP) NoteSubmit(j *job.Job) { d.Tuner.NoteSubmit(j) }
+
+// NoteRemove implements engine.QueueTracker.
+func (d *DynP) NoteRemove(j *job.Job) { d.Tuner.NoteRemove(j) }
+
 // Stats exposes the tuner's decision statistics.
 func (d *DynP) Stats() core.Stats { return d.Tuner.Stats() }
 

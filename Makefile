@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test race soak bench bench-smoke bench-tuner bench-plan bench-plan-check fuzz repro repro-full ablations golden golden-check golden-check-full clean
+.PHONY: all ci build vet fmt-check test race soak bench bench-smoke bench-tuner bench-plan bench-plan-check bench-sim bench-sim-check fuzz repro repro-full ablations golden golden-check golden-check-full clean
 
 all: build vet test
 
@@ -61,6 +61,18 @@ bench-plan:
 # committed BENCH_plan.json. CI runs this in the bench-smoke job.
 bench-plan-check:
 	$(GO) run ./cmd/benchplan -check BENCH_plan.json
+
+# Refresh the committed simulation-throughput snapshot: indexed-vs-linear
+# profile micro-benchmarks plus end-to-end sim.Run rates at 1k/10k jobs.
+bench-sim:
+	$(GO) run ./cmd/benchsim -out BENCH_sim.json
+
+# Fail when an indexed-over-linear speedup ratio (1024+ steps) or the
+# 1k->10k throughput scaling regressed >10% against the committed
+# BENCH_sim.json. Ratios, not absolute ns, so the gate is machine-neutral.
+# CI runs this in the bench-smoke job.
+bench-sim-check:
+	$(GO) run ./cmd/benchsim -check BENCH_sim.json
 
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/swf/

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -33,7 +34,12 @@ type Config struct {
 	// value.
 	TunerWorkers int
 
-	Progress func(done, total int) // optional progress callback
+	// Progress, when set, is invoked after each completed simulation.
+	// Calls are serialized (never concurrent) and done is strictly
+	// increasing from 1 to the final task count, regardless of the worker
+	// count or completion order. The callback runs under the sweep's
+	// progress lock, so it should not block for long.
+	Progress func(done, total int)
 }
 
 // Cell is the aggregated outcome of one (shrink, scheduler) combination:
@@ -61,10 +67,20 @@ type Result struct {
 	Cells []Cell // shrink-major, scheduler-minor, in Config order
 }
 
+// shrinkEps bounds the distance within which two float64 shrink factors
+// are considered the same factor in Cell lookups. Factors live in (0, 1]
+// and adjacent configured factors differ by ≥ 0.01 in practice, so a 1e-9
+// tolerance absorbs accumulated rounding (e.g. a caller recomputing 0.7 as
+// 7*0.1 = 0.7000000000000001) without ever bridging two distinct factors.
+const shrinkEps = 1e-9
+
 // Cell returns the cell for the given shrink and scheduler name, or nil.
+// The shrink factor is matched within a small epsilon, so callers that
+// recompute factors arithmetically (e.g. i*0.1 loops) find the cell they
+// configured even when the recomputed float64 differs in the last bits.
 func (r *Result) Cell(shrink float64, scheduler string) *Cell {
 	for i := range r.Cells {
-		if r.Cells[i].Shrink == shrink && r.Cells[i].Scheduler == scheduler {
+		if math.Abs(r.Cells[i].Shrink-shrink) <= shrinkEps && r.Cells[i].Scheduler == scheduler {
 			return &r.Cells[i]
 		}
 	}
@@ -72,7 +88,9 @@ func (r *Result) Cell(shrink float64, scheduler string) *Cell {
 }
 
 // Run executes the sweep. Independent simulations are distributed over a
-// worker pool; results are deterministic regardless of worker count.
+// worker pool; results are deterministic regardless of worker count. The
+// first simulation failure cancels the sweep: workers stop claiming tasks
+// and Run returns that failure instead of simulating the remainder.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Sets < 1 || cfg.JobsPerSet < 1 {
 		return nil, fmt.Errorf("experiment: need at least one set and one job, got %d/%d",
@@ -123,17 +141,21 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	var (
-		next    atomic.Int64
-		done    atomic.Int64
-		wg      sync.WaitGroup
-		failMu  sync.Mutex
-		failure error
+		next      atomic.Int64
+		cancelled atomic.Bool // set on first failure; short-circuits every worker's claim loop
+		wg        sync.WaitGroup
+		mu        sync.Mutex // guards failure and done, and serializes cfg.Progress
+		failure   error
+		done      int
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if cancelled.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) {
 					return
@@ -145,12 +167,13 @@ func Run(cfg Config) (*Result, error) {
 				}
 				res, err := sim.Run(shrunk[tk.shrinkIdx][tk.setIdx], driver)
 				if err != nil {
-					failMu.Lock()
+					mu.Lock()
 					if failure == nil {
 						failure = fmt.Errorf("experiment: %s shrink %.2f set %d: %w",
 							cfg.Schedulers[tk.schedIdx].Name, cfg.Shrinks[tk.shrinkIdx], tk.setIdx, err)
 					}
-					failMu.Unlock()
+					mu.Unlock()
+					cancelled.Store(true)
 					return
 				}
 				o := outcome{
@@ -172,7 +195,10 @@ func Run(cfg Config) (*Result, error) {
 				}
 				outcomes[i] = o
 				if cfg.Progress != nil {
-					cfg.Progress(int(done.Add(1)), len(tasks))
+					mu.Lock()
+					done++
+					cfg.Progress(done, len(tasks))
+					mu.Unlock()
 				}
 			}
 		}()

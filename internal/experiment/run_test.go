@@ -2,10 +2,14 @@ package experiment
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"dynp/internal/core"
+	"dynp/internal/job"
+	"dynp/internal/plan"
 	"dynp/internal/policy"
+	"dynp/internal/sim"
 	"dynp/internal/workload"
 )
 
@@ -107,6 +111,106 @@ func TestCellLookup(t *testing.T) {
 	}
 	if c := res.Cell(0.5, NameSJF); c != nil {
 		t.Fatal("Cell returned a non-existent shrink")
+	}
+}
+
+// neverDriver plans nothing, so no job ever starts and sim.Run fails
+// deterministically once the submission events drain.
+type neverDriver struct{}
+
+func (neverDriver) Name() string { return "never" }
+
+func (neverDriver) Plan(now int64, capacity int, running []plan.Running, waiting []*job.Job) *plan.Schedule {
+	return &plan.Schedule{Now: now, Capacity: capacity, Policy: policy.FCFS}
+}
+
+func (neverDriver) ActivePolicy() policy.Policy { return policy.FCFS }
+
+func TestRunShortCircuitsOnFailure(t *testing.T) {
+	// A sweep mixing a scheduler that fails every simulation with a healthy
+	// one: the first failure must cancel the sweep instead of letting the
+	// other workers simulate the remaining tasks. Tasks are claimed
+	// scheduler-minor, so the failing spec's first task is claimed
+	// immediately and fails in well under the time the healthy worker needs
+	// to get through even a fraction of its 30 tasks.
+	var goodRuns atomic.Int64
+	cfg := Config{
+		Model:      workload.KTH,
+		Shrinks:    []float64{1.0},
+		Sets:       30,
+		JobsPerSet: 200,
+		Seed:       1,
+		Workers:    2,
+		Schedulers: []SchedulerSpec{
+			{Name: "never", New: func() sim.Driver { return neverDriver{} }},
+			{Name: "SJF", New: func() sim.Driver {
+				goodRuns.Add(1)
+				return &sim.Static{Policy: policy.SJF}
+			}},
+		},
+	}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("sweep with an always-failing scheduler reported no error")
+	}
+	if n := goodRuns.Load(); n >= 15 {
+		t.Fatalf("sweep kept simulating after the failure: %d of 30 healthy tasks ran", n)
+	}
+}
+
+func TestCellMatchesRecomputedShrink(t *testing.T) {
+	// Callers often recompute shrink factors arithmetically; the float64
+	// they derive need not be bit-identical to the configured one. The
+	// lookup must match within an epsilon instead of ==. 0.1+0.2 is the
+	// canonical IEEE 754 example: it differs from the literal 0.3. The
+	// operands are variables so the addition happens at runtime in float64
+	// (Go folds constant expressions in arbitrary precision).
+	tenth, fifth := 0.1, 0.2
+	shrink := tenth + fifth
+	if shrink == 0.3 {
+		t.Fatal("runtime 0.1+0.2 == 0.3: the platform is not using IEEE 754 doubles")
+	}
+	cfg := smallConfig()
+	cfg.Sets, cfg.JobsPerSet = 1, 30
+	cfg.Shrinks = []float64{shrink}
+	cfg.Schedulers = []SchedulerSpec{StaticSpec(policy.SJF)}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := res.Cell(0.3, NameSJF); c == nil {
+		t.Fatalf("Cell(0.3) missed the cell configured with shrink %v", shrink)
+	}
+	if c := res.Cell(0.4, NameSJF); c != nil {
+		t.Fatal("epsilon lookup matched a clearly different factor")
+	}
+}
+
+func TestProgressSerializedAndOrdered(t *testing.T) {
+	// cfg.Progress is documented to be called serially with strictly
+	// increasing done counts. The callback below is deliberately
+	// unsynchronized: under `go test -race` any concurrent invocation is
+	// flagged, and the recorded sequence checks the ordering contract.
+	cfg := smallConfig()
+	cfg.Sets, cfg.JobsPerSet = 3, 80
+	cfg.Workers = 4
+	var seen []int
+	cfg.Progress = func(done, total int) {
+		if total != 2*len(PaperSchedulers())*3 {
+			t.Errorf("progress total = %d", total)
+		}
+		seen = append(seen, done)
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2*len(PaperSchedulers())*3 {
+		t.Fatalf("progress called %d times, want %d", len(seen), 2*len(PaperSchedulers())*3)
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress done counts out of order: %v", seen)
+		}
 	}
 }
 

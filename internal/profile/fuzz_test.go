@@ -60,11 +60,13 @@ func (m *refModel) alloc(start int64, width int, dur int64) {
 	}
 }
 
-// FuzzProfileVsReference drives a Profile and the per-second reference
-// model through the same operation sequence and requires identical
-// EarliestFit results and identical FreeAt values at every step boundary,
-// plus CloneInto/Reset equivalence with Clone/New along the way. The
-// fuzz input is decoded as (op, width, duration, earliest) nibbles.
+// FuzzProfileVsReference drives the indexed Profile, the flat-array
+// Linear implementation, and the per-second reference model through the
+// same operation sequence and requires identical EarliestFit results,
+// identical FreeAt values, and a step-for-step identical step function
+// between the indexed and linear representations — plus CloneInto/Reset
+// equivalence with Clone/New along the way. The fuzz input is decoded as
+// (op, width, duration, earliest) nibbles.
 func FuzzProfileVsReference(f *testing.F) {
 	f.Add([]byte{0x00}, uint8(8), uint8(3))
 	f.Add([]byte{0x12, 0x34, 0x56, 0x78, 0x9a}, uint8(16), uint8(0))
@@ -76,7 +78,12 @@ func FuzzProfileVsReference(f *testing.F) {
 		// cheap: reservations live in [start, start+horizon/2), scans may
 		// run to the horizon.
 		const horizon = 512
+		// Shrink the chunk split threshold so even these small profiles
+		// exercise multi-chunk structures, lazy deltas and chunk splits.
+		defer func(old int) { chunkMax = old }(chunkMax)
+		chunkMax = 8
 		p := New(capacity, start)
+		lin := NewLinear(capacity, start)
 		ref := newRefModel(capacity, start, horizon)
 
 		if len(ops) > 64 {
@@ -99,6 +106,9 @@ func FuzzProfileVsReference(f *testing.F) {
 				if got != want {
 					t.Fatalf("op %d: Place(%d,%d,%d) = %d, oracle %d", i, earliest, width, dur, got, want)
 				}
+				if lgot := lin.Place(earliest, width, dur); lgot != want {
+					t.Fatalf("op %d: linear Place(%d,%d,%d) = %d, oracle %d", i, earliest, width, dur, lgot, want)
+				}
 				ref.alloc(want, width, dur)
 			case 2: // EarliestFit without committing
 				want, ok := ref.earliest(earliest, width, dur)
@@ -108,17 +118,36 @@ func FuzzProfileVsReference(f *testing.F) {
 				if got := p.EarliestFit(earliest, width, dur); got != want {
 					t.Fatalf("op %d: EarliestFit(%d,%d,%d) = %d, oracle %d", i, earliest, width, dur, got, want)
 				}
+				if lgot := lin.EarliestFit(earliest, width, dur); lgot != want {
+					t.Fatalf("op %d: linear EarliestFit(%d,%d,%d) = %d, oracle %d", i, earliest, width, dur, lgot, want)
+				}
 			case 3: // FreeAt sweep at the probe instant
 				if got, want := p.FreeAt(earliest), ref.freeAt(earliest); got != want {
 					t.Fatalf("op %d: FreeAt(%d) = %d, oracle %d", i, earliest, got, want)
 				}
+				if lgot, want := lin.FreeAt(earliest), ref.freeAt(earliest); lgot != want {
+					t.Fatalf("op %d: linear FreeAt(%d) = %d, oracle %d", i, earliest, lgot, want)
+				}
 			}
-			// Cross-check every step boundary against the oracle.
+			// The indexed and linear representations must agree step for
+			// step — same boundaries, same free counts, redundant steps
+			// included — and every boundary must match the oracle.
 			times, free := p.Steps()
+			ltimes, lfree := lin.Steps()
+			if len(times) != len(ltimes) {
+				t.Fatalf("op %d: indexed has %d steps, linear %d", i, len(times), len(ltimes))
+			}
 			for k, tm := range times {
+				if tm != ltimes[k] || free[k] != lfree[k] {
+					t.Fatalf("op %d: step %d indexed (%d,%d), linear (%d,%d)",
+						i, k, tm, free[k], ltimes[k], lfree[k])
+				}
 				if tm < start+horizon && free[k] != ref.freeAt(tm) {
 					t.Fatalf("op %d: step at %d has free %d, oracle %d", i, tm, free[k], ref.freeAt(tm))
 				}
+			}
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
 			}
 		}
 

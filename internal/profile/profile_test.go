@@ -8,6 +8,15 @@ import (
 	"dynp/internal/rng"
 )
 
+// checkInv fails the test when the indexed representation violates its
+// own invariants (aggregates vs recomputed-from-steps, ordering, bounds).
+func checkInv(t *testing.T, p *Profile) {
+	t.Helper()
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestNewAllFree(t *testing.T) {
 	p := New(64, 100)
 	if p.Capacity() != 64 || p.Start() != 100 {
@@ -69,6 +78,7 @@ func TestImplicitBackfill(t *testing.T) {
 	if l != 110 {
 		t.Fatalf("long narrow job at %d, want 110", l)
 	}
+	checkInv(t, p)
 }
 
 func TestEarliestFitRespectsEarliestBound(t *testing.T) {
@@ -334,6 +344,7 @@ func TestPropertyMatchesNaiveOracle(t *testing.T) {
 			}
 			n.alloc(want, width, dur)
 		}
+		checkInv(t, p)
 		return true
 	}, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -347,6 +358,7 @@ func TestPropertyNeverNegative(t *testing.T) {
 		for i := 0; i < 100; i++ {
 			p.Place(int64(r.Intn(100)), 1+r.Intn(8), int64(1+r.Intn(50)))
 		}
+		checkInv(t, p)
 		_, free := p.Steps()
 		for _, f := range free {
 			if f < 0 || f > 8 {
@@ -356,5 +368,172 @@ func TestPropertyNeverNegative(t *testing.T) {
 		return true
 	}, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFreeAtPanicsPreStart(t *testing.T) {
+	// Regression: FreeAt used to silently answer for times before the
+	// profile start by clamping to the first step, while EarliestFit and
+	// Alloc panic on the same input. The contract is now uniform: the
+	// profile carries no information about the past, so asking for it is
+	// a scheduler bug and every entry point panics.
+	p := New(4, 100)
+	if got := p.FreeAt(100); got != 4 {
+		t.Fatalf("FreeAt at the start boundary = %d, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FreeAt(99) on a profile starting at 100 did not panic")
+		}
+	}()
+	p.FreeAt(99)
+}
+
+func TestLinearFreeAtPanicsPreStart(t *testing.T) {
+	p := NewLinear(4, 100)
+	if got := p.FreeAt(100); got != 4 {
+		t.Fatalf("FreeAt at the start boundary = %d, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("linear FreeAt(99) on a profile starting at 100 did not panic")
+		}
+	}()
+	p.FreeAt(99)
+}
+
+// TestPropertyIndexedMatchesLinear interleaves Place, Alloc, CloneInto and
+// Reset on the indexed profile and the flat-array Linear implementation
+// and requires the two step functions to stay identical step for step —
+// same boundaries, same free counts, redundant steps included — with the
+// indexed invariants holding after every operation. The chunk threshold is
+// shrunk so the sequences cross many chunk splits and lazy deltas.
+func TestPropertyIndexedMatchesLinear(t *testing.T) {
+	defer func(old int) { chunkMax = old }(chunkMax)
+	chunkMax = 8
+
+	sameSteps := func(p *Profile, l *Linear) error {
+		pt, pf := p.Steps()
+		lt, lf := l.Steps()
+		if len(pt) != len(lt) {
+			return fmt.Errorf("indexed has %d steps, linear %d", len(pt), len(lt))
+		}
+		for k := range pt {
+			if pt[k] != lt[k] || pf[k] != lf[k] {
+				return fmt.Errorf("step %d: indexed (%d,%d), linear (%d,%d)",
+					k, pt[k], pf[k], lt[k], lf[k])
+			}
+		}
+		return nil
+	}
+
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		capacity := 4 + r.Intn(60)
+		start := int64(r.Intn(100))
+		p := New(capacity, start)
+		l := NewLinear(capacity, start)
+		var pClone Profile
+		var lClone Linear
+		for i := 0; i < 120; i++ {
+			width := 1 + r.Intn(capacity)
+			dur := int64(1 + r.Intn(40))
+			earliest := start + int64(r.Intn(200))
+			switch r.Intn(10) {
+			case 0: // Alloc at a feasible hole found by EarliestFit
+				at := p.EarliestFit(earliest, width, dur)
+				if lat := l.EarliestFit(earliest, width, dur); lat != at {
+					t.Logf("seed %d op %d: EarliestFit %d vs linear %d", seed, i, at, lat)
+					return false
+				}
+				p.Alloc(at, width, dur)
+				l.Alloc(at, width, dur)
+			case 1: // CloneInto dirty destinations, continue on the clones
+				p.CloneInto(&pClone)
+				l.CloneInto(&lClone)
+				pClone.CloneInto(p)
+				lClone.CloneInto(l)
+			case 2: // Reset both to a fresh machine
+				capacity = 4 + r.Intn(60)
+				start = int64(r.Intn(100))
+				p.Reset(capacity, start)
+				l.Reset(capacity, start)
+			default: // Place
+				got := p.Place(earliest, width, dur)
+				want := l.Place(earliest, width, dur)
+				if got != want {
+					t.Logf("seed %d op %d: Place %d vs linear %d", seed, i, got, want)
+					return false
+				}
+			}
+			if err := p.CheckInvariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, i, err)
+				return false
+			}
+			if err := sameSteps(p, l); err != nil {
+				t.Logf("seed %d op %d: %v", seed, i, err)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption corrupts the white-box aggregates
+// and expects CheckInvariants to notice — the guard that the property and
+// fuzz tests are actually asserting something.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	build := func() *Profile {
+		defer func(old int) { chunkMax = old }(chunkMax)
+		chunkMax = 8
+		r := rng.New(7)
+		p := New(16, 0)
+		for i := 0; i < 40; i++ {
+			p.Place(int64(r.Intn(100)), 1+r.Intn(16), int64(1+r.Intn(30)))
+		}
+		return p
+	}
+	if err := build().CheckInvariants(); err != nil {
+		t.Fatalf("freshly built profile violates invariants: %v", err)
+	}
+	for name, corrupt := range map[string]func(p *Profile){
+		"min":      func(p *Profile) { p.chunks[len(p.chunks)/2].min-- },
+		"max":      func(p *Profile) { p.chunks[len(p.chunks)/2].max++ },
+		"add":      func(p *Profile) { p.chunks[len(p.chunks)/2].add -= 100 },
+		"ordering": func(p *Profile) { p.chunks[0].steps[0].time = 1 << 40 },
+		"capacity": func(p *Profile) { p.chunks[0].steps[0].free = 99 },
+	} {
+		p := build()
+		corrupt(p)
+		if err := p.CheckInvariants(); err == nil {
+			t.Errorf("%s corruption not detected", name)
+		}
+	}
+}
+
+// TestChunkSplitKeepsSequence drives a profile far past one chunk and
+// checks the flattened sequence stays sorted and the structure actually
+// split — the cheap-split path is exercised, not bypassed.
+func TestChunkSplitKeepsSequence(t *testing.T) {
+	r := rng.New(11)
+	p := New(128, 0)
+	l := NewLinear(128, 0)
+	for i := 0; i < 400; i++ {
+		w := 1 + r.Intn(64)
+		d := int64(1 + r.Intn(5000))
+		if got, want := p.Place(0, w, d), l.Place(0, w, d); got != want {
+			t.Fatalf("op %d: Place %d vs linear %d", i, got, want)
+		}
+	}
+	checkInv(t, p)
+	if len(p.chunks) < 4 {
+		t.Fatalf("400 placements produced only %d chunks; splits not exercised", len(p.chunks))
+	}
+	pt, pf := p.Steps()
+	lt, lf := l.Steps()
+	if fmt.Sprint(pt, pf) != fmt.Sprint(lt, lf) {
+		t.Fatal("indexed and linear step functions diverged")
 	}
 }

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test race soak bench bench-smoke bench-tuner bench-plan bench-plan-check bench-sim bench-sim-check fuzz repro repro-full ablations golden golden-check golden-check-full clean
+.PHONY: all ci build vet fmt-check test race soak bench bench-smoke bench-tuner bench-plan bench-plan-check bench-sim bench-sim-check bench-scale bench-scale-check fuzz repro repro-full ablations golden golden-check golden-check-full clean
 
 all: build vet test
 
@@ -26,13 +26,19 @@ fmt-check:
 		exit 1; \
 	fi
 
+# -shuffle=on randomises test (and package-level example) execution
+# order, flushing out inter-test state dependencies; the seed is printed
+# on failure for reproduction with -shuffle=<seed>.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
-# Race-check the concurrent pieces (experiment worker pool, parallel
-# what-if planning in the tuner, RMS server, chaos harness).
+# Race-check everything. The concurrent pieces — the work-stealing shard
+# pool, the experiment sweep, parallel what-if planning in the tuner,
+# sim.RunParallel, the RMS snapshot readers, the chaos harness — all have
+# tests that exercise real concurrency, and the sequential packages are
+# cheap enough that whole-module coverage costs little extra.
 race:
-	$(GO) test -race ./internal/experiment/ ./internal/rms/ ./internal/rms/chaos/ ./internal/core/ .
+	$(GO) test -race ./...
 
 # Deterministic chaos soak: concurrent clients through a fault-injecting
 # network while processors fail and recover, race detector on. The fault
@@ -73,6 +79,19 @@ bench-sim:
 # CI runs this in the bench-smoke job.
 bench-sim-check:
 	$(GO) run ./cmd/benchsim -check BENCH_sim.json
+
+# Refresh the committed multi-core scaling snapshot: experiment-sweep and
+# sim.RunParallel jobs/s plus tuner plan latency at GOMAXPROCS 1/2/4/N.
+bench-scale:
+	$(GO) run ./cmd/benchscale -out BENCH_scale.json
+
+# Fail when a p-core-over-1-core scaling ratio regressed >10% against the
+# committed BENCH_scale.json, or the experiment sweep scales under 2x at
+# 4 cores. Ratios only, and only for core counts the machine physically
+# has, so the gate is machine-neutral. CI runs this on a multi-core
+# runner in the bench-scale job.
+bench-scale-check:
+	$(GO) run ./cmd/benchscale -check BENCH_scale.json
 
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/swf/

@@ -6,9 +6,11 @@
 //	benchplan -out BENCH_plan.json
 //	benchplan -check BENCH_plan.json   # compare a fresh run against a baseline
 //
-// In -check mode nothing is written: the tool re-measures the tuner-step
-// rows and exits non-zero when any allocs/op regresses more than 10%
-// against the named baseline file.
+// In -check mode nothing is written: the tool pins GOMAXPROCS to the
+// value the baseline was recorded at (erroring if the environment
+// demands a conflicting one), re-measures the tuner-step rows and exits
+// non-zero when any allocs/op regresses more than 10% against the named
+// baseline file.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"runtime"
 	"testing"
 
+	"dynp/internal/benchgate"
 	"dynp/internal/core"
 	"dynp/internal/job"
 	"dynp/internal/plan"
@@ -57,11 +60,20 @@ func main() {
 	check := flag.String("check", "", "baseline BENCH_plan.json to compare a fresh run against (no output written)")
 	flag.Parse()
 
-	snap := measure(*check != "")
 	if *check != "" {
-		os.Exit(compare(*check, snap))
+		// Load the baseline before measuring: the fresh run must execute at
+		// the GOMAXPROCS the baseline was recorded at, or allocs/op of the
+		// parallel planning path (which sizes itself off GOMAXPROCS) are not
+		// comparable across machines.
+		raw, err := os.ReadFile(*check)
+		fail(err)
+		var base snapshot
+		fail(json.Unmarshal(raw, &base))
+		fail(benchgate.PinProcs("benchplan", base.GoMaxProcs))
+		os.Exit(compare(base, measure(true)))
 	}
 
+	snap := measure(false)
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	fail(err)
 	enc = append(enc, '\n')
@@ -182,13 +194,9 @@ func measure(tunerOnly bool) snapshot {
 	return snap
 }
 
-// compare re-measured tuner rows against the baseline file, failing on
+// compare re-measured tuner rows against the baseline, failing on
 // allocs/op regressions beyond maxRegression.
-func compare(path string, fresh snapshot) int {
-	raw, err := os.ReadFile(path)
-	fail(err)
-	var base snapshot
-	fail(json.Unmarshal(raw, &base))
+func compare(base, fresh snapshot) int {
 	baseline := make(map[string]measurement, len(base.TunerSteps))
 	for _, m := range base.TunerSteps {
 		baseline[key(m)] = m

@@ -12,7 +12,10 @@
 // machine-neutral ratios instead: the indexed-over-linear speedup of every
 // micro-benchmark pair (with a hard 2x floor at the largest profile size)
 // and the 10k-over-1k jobs/sec scaling of the end-to-end rows. A fresh
-// ratio may fall at most 10% below the baseline ratio.
+// ratio may fall at most 10% below the baseline ratio. The -check run
+// pins GOMAXPROCS to the value the baseline was recorded at (erroring if
+// the environment demands a conflicting one), so the two measurements
+// see the same machine shape.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"runtime"
 	"testing"
 
+	"dynp/internal/benchgate"
 	"dynp/internal/core"
 	"dynp/internal/profile"
 	"dynp/internal/sim"
@@ -100,11 +104,20 @@ func main() {
 	check := flag.String("check", "", "baseline BENCH_sim.json to compare a fresh run against (no output written)")
 	flag.Parse()
 
-	snap := measure()
 	if *check != "" {
-		os.Exit(compare(*check, snap))
+		// Load the baseline before measuring: the fresh run must execute at
+		// the GOMAXPROCS the baseline was recorded at, or the ratios are not
+		// comparable (a 4-core runner checking a 1-core snapshot would gate
+		// scheduler noise, not regressions).
+		raw, err := os.ReadFile(*check)
+		fail(err)
+		var base snapshot
+		fail(json.Unmarshal(raw, &base))
+		fail(benchgate.PinProcs("benchsim", base.GoMaxProcs))
+		os.Exit(compare(base, measure()))
 	}
 
+	snap := measure()
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	fail(err)
 	enc = append(enc, '\n')
@@ -290,16 +303,12 @@ func scaling(rows []simRow) (float64, bool) {
 	return large / small, true
 }
 
-// compare gates a fresh run against the baseline file: every speedup ratio
+// compare gates a fresh run against the baseline: every speedup ratio
 // at gateSteps or larger must hold to within maxRegression of its baseline
 // (and meet the absolute floor at floorSteps), and the end-to-end
 // throughput scaling must not collapse. Smaller rows print for context but
 // never fail the build.
-func compare(path string, fresh snapshot) int {
-	raw, err := os.ReadFile(path)
-	fail(err)
-	var base snapshot
-	fail(json.Unmarshal(raw, &base))
+func compare(base, fresh snapshot) int {
 	baseline := make(map[string]float64, len(base.Speedups))
 	for _, s := range base.Speedups {
 		baseline[fmt.Sprintf("%s/%d", s.Name, s.Steps)] = s.Ratio

@@ -1,0 +1,56 @@
+package benchgate
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestPinProcsMatchesBaseline(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	t.Setenv("GOMAXPROCS", "")
+
+	if err := PinProcs("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := runtime.GOMAXPROCS(0); got != 2 {
+		t.Fatalf("GOMAXPROCS = %d after pinning to 2", got)
+	}
+}
+
+func TestPinProcsRejectsConflictingEnv(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	t.Setenv("GOMAXPROCS", "8")
+
+	err := PinProcs("t", 1)
+	if err == nil {
+		t.Fatal("conflicting GOMAXPROCS env accepted")
+	}
+	if !strings.Contains(err.Error(), "GOMAXPROCS=8") || !strings.Contains(err.Error(), "gomaxprocs 1") {
+		t.Fatalf("error does not name both values: %v", err)
+	}
+	if got := runtime.GOMAXPROCS(0); got != prev {
+		t.Fatalf("GOMAXPROCS changed to %d despite the error", got)
+	}
+}
+
+func TestPinProcsAcceptsAgreeingEnv(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	t.Setenv("GOMAXPROCS", "3")
+
+	if err := PinProcs("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := runtime.GOMAXPROCS(0); got != 3 {
+		t.Fatalf("GOMAXPROCS = %d, want 3", got)
+	}
+}
+
+func TestPinProcsRejectsMissingBaselineField(t *testing.T) {
+	if err := PinProcs("t", 0); err == nil {
+		t.Fatal("baseline without gomaxprocs accepted")
+	}
+}

@@ -5,11 +5,11 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"dynp/internal/job"
 	"dynp/internal/metrics"
 	"dynp/internal/policy"
+	"dynp/internal/shard"
 	"dynp/internal/sim"
 	"dynp/internal/stats"
 	"dynp/internal/workload"
@@ -88,9 +88,14 @@ func (r *Result) Cell(shrink float64, scheduler string) *Cell {
 }
 
 // Run executes the sweep. Independent simulations are distributed over a
-// worker pool; results are deterministic regardless of worker count. The
-// first simulation failure cancels the sweep: workers stop claiming tasks
-// and Run returns that failure instead of simulating the remainder.
+// work-stealing shard pool (internal/shard): each worker owns a strided
+// slice of the (shrink, scheduler, set) task list and steals from the
+// fullest remaining shard when its own runs dry, so one
+// expensive cell never strands the tail of the sweep. Every task writes
+// into its fixed outcome slot, so results are byte-identical regardless
+// of worker count. The first simulation failure cancels the sweep:
+// workers stop claiming tasks and Run returns that failure instead of
+// simulating the remainder.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Sets < 1 || cfg.JobsPerSet < 1 {
 		return nil, fmt.Errorf("experiment: need at least one set and one job, got %d/%d",
@@ -136,76 +141,50 @@ func Run(cfg Config) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
 
 	var (
-		next      atomic.Int64
-		cancelled atomic.Bool // set on first failure; short-circuits every worker's claim loop
-		wg        sync.WaitGroup
-		mu        sync.Mutex // guards failure and done, and serializes cfg.Progress
-		failure   error
-		done      int
+		mu   sync.Mutex // serializes cfg.Progress and its done counter
+		done int
 	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if cancelled.Load() {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= len(tasks) {
-					return
-				}
-				tk := tasks[i]
-				driver := cfg.Schedulers[tk.schedIdx].New()
-				if d, ok := driver.(*sim.DynP); ok && cfg.TunerWorkers != 0 {
-					d.SetWorkers(cfg.TunerWorkers)
-				}
-				res, err := sim.Run(shrunk[tk.shrinkIdx][tk.setIdx], driver)
-				if err != nil {
-					mu.Lock()
-					if failure == nil {
-						failure = fmt.Errorf("experiment: %s shrink %.2f set %d: %w",
-							cfg.Schedulers[tk.schedIdx].Name, cfg.Shrinks[tk.shrinkIdx], tk.setIdx, err)
-					}
-					mu.Unlock()
-					cancelled.Store(true)
-					return
-				}
-				o := outcome{
-					sldwa:       metrics.SLDwA(res),
-					util:        metrics.Utilization(res),
-					policyShare: make(map[policy.Policy]float64),
-				}
-				var span int64
-				for _, d := range res.PolicyTime {
-					span += d
-				}
-				if span > 0 {
-					for p, d := range res.PolicyTime {
-						o.policyShare[p] = float64(d) / float64(span)
-					}
-				}
-				if d, ok := driver.(*sim.DynP); ok {
-					o.switches = float64(d.Stats().Switches)
-				}
-				outcomes[i] = o
-				if cfg.Progress != nil {
-					mu.Lock()
-					done++
-					cfg.Progress(done, len(tasks))
-					mu.Unlock()
-				}
+	err = shard.Run(workers, len(tasks), func(i int) error {
+		tk := tasks[i]
+		driver := cfg.Schedulers[tk.schedIdx].New()
+		if d, ok := driver.(*sim.DynP); ok && cfg.TunerWorkers != 0 {
+			d.SetWorkers(cfg.TunerWorkers)
+		}
+		res, err := sim.Run(shrunk[tk.shrinkIdx][tk.setIdx], driver)
+		if err != nil {
+			return fmt.Errorf("experiment: %s shrink %.2f set %d: %w",
+				cfg.Schedulers[tk.schedIdx].Name, cfg.Shrinks[tk.shrinkIdx], tk.setIdx, err)
+		}
+		o := outcome{
+			sldwa:       metrics.SLDwA(res),
+			util:        metrics.Utilization(res),
+			policyShare: make(map[policy.Policy]float64),
+		}
+		var span int64
+		for _, d := range res.PolicyTime {
+			span += d
+		}
+		if span > 0 {
+			for p, d := range res.PolicyTime {
+				o.policyShare[p] = float64(d) / float64(span)
 			}
-		}()
-	}
-	wg.Wait()
-	if failure != nil {
-		return nil, failure
+		}
+		if d, ok := driver.(*sim.DynP); ok {
+			o.switches = float64(d.Stats().Switches)
+		}
+		outcomes[i] = o
+		if cfg.Progress != nil {
+			mu.Lock()
+			done++
+			cfg.Progress(done, len(tasks))
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	result := &Result{Model: cfg.Model}

@@ -17,55 +17,82 @@ type Report struct {
 	LastFinish int64
 }
 
-// Report computes the metrics over all finished jobs. With no finished
-// jobs, the zero Report (with the current time) is returned.
+// reportAgg accumulates the Report sums incrementally, one finished job
+// at a time in finish order — the same order (and therefore the same
+// floating-point results) the retired per-read loop over the done list
+// produced. Maintaining it on the write path makes Report O(1) on the
+// read path, served straight from the published snapshot.
+type reportAgg struct {
+	n                int // finished jobs folded in
+	killed, failed   int
+	first, last      int64
+	area, weighted   float64
+	waitSum, respSum float64
+	maxWait          int64
+}
+
+// add folds one finished job into the sums. Called from the engine's
+// Finished hook under the scheduling lock.
+func (a *reportAgg) add(j JobInfo) {
+	switch j.State {
+	case StateKilled:
+		a.killed++
+	case StateFailed:
+		a.failed++
+	}
+	if a.n == 0 {
+		a.first = j.Submitted
+	}
+	a.n++
+	if j.Submitted < a.first {
+		a.first = j.Submitted
+	}
+	if j.Finished > a.last {
+		a.last = j.Finished
+	}
+	run := j.Finished - j.Started
+	if run < 1 {
+		run = 1
+	}
+	wait := j.Started - j.Submitted
+	resp := j.Finished - j.Submitted
+	area := float64(run) * float64(j.Width)
+	a.area += area
+	a.weighted += area * float64(resp) / float64(run)
+	a.waitSum += float64(wait)
+	a.respSum += float64(resp)
+	if wait > a.maxWait {
+		a.maxWait = wait
+	}
+}
+
+// Report computes the metrics over all finished jobs, as of the last
+// completed mutation. With no finished jobs, the zero Report (with the
+// current time) is returned. It never takes the scheduling lock: the
+// report is precomputed on the write path and served from the published
+// snapshot.
 func (s *Scheduler) Report() Report {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return s.snap.Load().report
+}
+
+// reportLocked derives the Report from the running aggregates. Callers
+// hold the scheduling lock.
+func (s *Scheduler) reportLocked() Report {
 	rep := Report{Now: s.eng.Now(), Jobs: len(s.done)}
 	if len(s.done) == 0 {
 		return rep
 	}
-	first := s.done[0].Submitted
-	var last int64
-	var area, weighted float64
-	var waitSum, respSum float64
-	for _, j := range s.done {
-		switch j.State {
-		case StateKilled:
-			rep.Killed++
-		case StateFailed:
-			rep.Failed++
-		}
-		if j.Submitted < first {
-			first = j.Submitted
-		}
-		if j.Finished > last {
-			last = j.Finished
-		}
-		run := j.Finished - j.Started
-		if run < 1 {
-			run = 1
-		}
-		wait := j.Started - j.Submitted
-		resp := j.Finished - j.Submitted
-		a := float64(run) * float64(j.Width)
-		area += a
-		weighted += a * float64(resp) / float64(run)
-		waitSum += float64(wait)
-		respSum += float64(resp)
-		if wait > rep.MaxWait {
-			rep.MaxWait = wait
-		}
-	}
 	n := float64(len(s.done))
-	rep.SLDwA = weighted / area
-	rep.ART = respSum / n
-	rep.AWT = waitSum / n
-	rep.FirstSub = first
-	rep.LastFinish = last
-	if span := last - first; span > 0 {
-		rep.Util = area / (float64(s.eng.Capacity()) * float64(span))
+	rep.Killed = s.agg.killed
+	rep.Failed = s.agg.failed
+	rep.SLDwA = s.agg.weighted / s.agg.area
+	rep.ART = s.agg.respSum / n
+	rep.AWT = s.agg.waitSum / n
+	rep.MaxWait = s.agg.maxWait
+	rep.FirstSub = s.agg.first
+	rep.LastFinish = s.agg.last
+	if span := s.agg.last - s.agg.first; span > 0 {
+		rep.Util = s.agg.area / (float64(s.eng.Capacity()) * float64(span))
 	}
 	return rep
 }

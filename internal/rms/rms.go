@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dynp/internal/engine"
 	"dynp/internal/job"
@@ -95,6 +96,15 @@ var (
 
 // Scheduler is an online planning-based RMS core. Create with New; all
 // methods are safe for concurrent use.
+//
+// Reads and writes are decoupled: every mutation, while still holding
+// the scheduling mutex, publishes an immutable snapshot of the
+// externally visible state, and the heavy-traffic read operations —
+// Status, Report, Finished, Now — serve from the latest snapshot with a
+// single atomic load. A storm of status readers therefore never delays
+// a scheduling event, and a long replan never delays a reader: readers
+// see the state as of the last completed mutation, which is exactly the
+// consistency a mutex would give them minus the waiting.
 type Scheduler struct {
 	mu      sync.Mutex
 	eng     *engine.Engine
@@ -104,6 +114,33 @@ type Scheduler struct {
 
 	infos map[job.ID]*JobInfo
 	done  []JobInfo // completed, killed and failed jobs, in finish order
+	agg   reportAgg // running Report aggregates over done, in finish order
+
+	// snap is the immutable read model, swapped wholesale after every
+	// mutation (see publish). Never nil once New returns.
+	snap atomic.Pointer[readSnapshot]
+}
+
+// readSnapshot is one immutable published state: a fully built Status
+// (the snapshot owns its slices), the precomputed Report, and the
+// finish-ordered done list. The done slice aliases the scheduler's
+// backing array capped at its published length — appends behind it touch
+// only indices the snapshot never reads, and finished entries are never
+// mutated in place, so sharing is safe.
+type readSnapshot struct {
+	status Status
+	report Report
+	done   []JobInfo
+}
+
+// publish rebuilds the read model from the current state and swaps it
+// in. Callers hold the scheduling lock; readers are never blocked by it.
+func (s *Scheduler) publish() {
+	s.snap.Store(&readSnapshot{
+		status: s.statusLocked(),
+		report: s.reportLocked(),
+		done:   s.done[:len(s.done):len(s.done)],
+	})
 }
 
 // New returns an online scheduler for a machine with the given capacity,
@@ -126,6 +163,7 @@ func New(capacity int, driver sim.Driver, startTime int64) (*Scheduler, error) {
 		Planned:  s.onPlanned,
 	}))
 	s.replan()
+	s.publish()
 	return s, nil
 }
 
@@ -150,6 +188,7 @@ func (s *Scheduler) onFinished(j *job.Job, st engine.FinishState, now int64) {
 	}
 	info.Finished = now
 	s.done = append(s.done, *info)
+	s.agg.add(*info)
 }
 
 // onPlanned refreshes the planned starts after every replanning step.
@@ -238,11 +277,10 @@ func (s *Scheduler) journalCheckpoint() {
 	}
 }
 
-// Now returns the scheduler's current time.
+// Now returns the scheduler's current time as of the last completed
+// mutation. It never takes the scheduling lock.
 func (s *Scheduler) Now() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.Now()
+	return s.snap.Load().status.Now
 }
 
 // Submit enters a job (width processors for at most estimate seconds) at
@@ -253,6 +291,7 @@ func (s *Scheduler) Now() int64 {
 func (s *Scheduler) Submit(width int, estimate int64) (JobInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publish()
 	if width < 1 || width > s.eng.Capacity() {
 		return JobInfo{}, fmt.Errorf("rms: width %d out of [1, %d]", width, s.eng.Capacity())
 	}
@@ -285,6 +324,7 @@ func (s *Scheduler) Submit(width int, estimate int64) (JobInfo, error) {
 func (s *Scheduler) Complete(id job.ID) (JobInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publish()
 	info, ok := s.infos[id]
 	if !ok {
 		return JobInfo{}, fmt.Errorf("rms: unknown job %d", id)
@@ -305,6 +345,7 @@ func (s *Scheduler) Complete(id job.ID) (JobInfo, error) {
 func (s *Scheduler) Cancel(id job.ID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publish()
 	info, ok := s.infos[id]
 	if !ok {
 		return fmt.Errorf("rms: unknown job %d", id)
@@ -331,6 +372,7 @@ func (s *Scheduler) Cancel(id job.ID) error {
 func (s *Scheduler) Fail(procs int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publish()
 	if procs < 1 {
 		return fmt.Errorf("rms: fail %d processors < 1", procs)
 	}
@@ -353,6 +395,7 @@ func (s *Scheduler) Fail(procs int) error {
 func (s *Scheduler) Restore(procs int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publish()
 	if procs < 1 {
 		return fmt.Errorf("rms: restore %d processors < 1", procs)
 	}
@@ -374,6 +417,7 @@ func (s *Scheduler) Restore(procs int) error {
 func (s *Scheduler) Advance(to int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publish()
 	if to < s.eng.Now() {
 		return fmt.Errorf("rms: cannot advance from %d back to %d", s.eng.Now(), to)
 	}
@@ -409,6 +453,7 @@ type Submission struct {
 func (s *Scheduler) Deliver(t int64, completions []job.ID, subs []Submission) ([]JobInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publish()
 	if t < s.eng.Now() {
 		return nil, fmt.Errorf("rms: cannot deliver at %d before current time %d", t, s.eng.Now())
 	}
@@ -494,11 +539,17 @@ type Status struct {
 	Finished     int       // completed + killed + failed so far
 }
 
-// Status returns a consistent snapshot.
+// Status returns a consistent snapshot of the whole system as of the
+// last completed mutation. It never takes the scheduling lock: a storm
+// of status readers cannot delay a scheduling event. The slices are the
+// caller's to keep.
 func (s *Scheduler) Status() Status {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.statusLocked()
+	st := s.snap.Load().status
+	// The snapshot is shared by every concurrent reader; hand out copies
+	// of its slices so no caller can mutate another's view.
+	st.Waiting = append([]JobInfo(nil), st.Waiting...)
+	st.Running = append([]JobInfo(nil), st.Running...)
+	return st
 }
 
 func (s *Scheduler) statusLocked() Status {
@@ -527,7 +578,10 @@ func (s *Scheduler) statusLocked() Status {
 	return st
 }
 
-// Job returns the status of a single job (including finished ones).
+// Job returns the status of a single job (including finished ones). It
+// reads the live state under the scheduling lock — the info map covers
+// the scheduler's whole history, so the snapshot read model deliberately
+// excludes it rather than copy an unbounded map on every mutation.
 func (s *Scheduler) Job(id job.ID) (JobInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -538,11 +592,10 @@ func (s *Scheduler) Job(id job.ID) (JobInfo, error) {
 }
 
 // Finished returns the jobs that completed, were killed, or died to a
-// capacity failure, in finish order.
+// capacity failure, in finish order, as of the last completed mutation.
+// It never takes the scheduling lock.
 func (s *Scheduler) Finished() []JobInfo {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]JobInfo(nil), s.done...)
+	return append([]JobInfo(nil), s.snap.Load().done...)
 }
 
 // CheckInvariants verifies the scheduler's internal consistency: the

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"dynp/internal/core"
+	"dynp/internal/job"
+	"dynp/internal/policy"
+	"dynp/internal/workload"
+)
+
+// fingerprint renders everything observable about a run — per-job starts
+// and finishes in completion order, the event count, and the policy-time
+// split — so two results are byte-identical iff their fingerprints match.
+func fingerprint(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s makespan=%d events=%d\n", r.Scheduler, r.Makespan, r.Events)
+	for _, rec := range r.Records {
+		fmt.Fprintf(&b, "job %d start=%d finish=%d\n", rec.Job.ID, rec.Start, rec.Finish)
+	}
+	ps := make([]policy.Policy, 0, len(r.PolicyTime))
+	for p := range r.PolicyTime {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	for _, p := range ps {
+		fmt.Fprintf(&b, "policy %v=%d\n", p, r.PolicyTime[p])
+	}
+	return b.String()
+}
+
+func parallelTestSets(t *testing.T) []*job.Set {
+	t.Helper()
+	sets, err := workload.KTH.GenerateSets(6, 150, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sets {
+		sets[i] = s.Shrink(0.8)
+	}
+	return sets
+}
+
+// TestRunParallelMatchesSequential is the byte-identity proof for the
+// sharded simulation path: the same sets through sequential Run and
+// through RunParallel at several worker counts produce identical
+// fingerprints slot for slot, for a stateful dynP driver and decider.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	sets := parallelTestSets(t)
+	newDriver := func() Driver { return NewDynP(core.Advanced{}) }
+
+	want := make([]string, len(sets))
+	for i, s := range sets {
+		res, err := Run(s, newDriver())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = fingerprint(res)
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		results, err := RunParallel(sets, newDriver, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(results) != len(sets) {
+			t.Fatalf("workers=%d: %d results for %d sets", workers, len(results), len(sets))
+		}
+		for i, res := range results {
+			if got := fingerprint(res); got != want[i] {
+				t.Errorf("workers=%d set %d: parallel result diverged from sequential:\n got: %s\nwant: %s",
+					workers, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestRunParallelReplicas runs the same set several times concurrently:
+// every replica must reproduce the identical schedule, proving fresh
+// drivers share no state.
+func TestRunParallelReplicas(t *testing.T) {
+	sets := parallelTestSets(t)[:1]
+	replicas := []*job.Set{sets[0], sets[0], sets[0], sets[0]}
+	results, err := RunParallel(replicas, func() Driver { return NewDynP(core.Preferred{Policy: policy.SJF}) }, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := fingerprint(results[0])
+	for i, res := range results[1:] {
+		if got := fingerprint(res); got != first {
+			t.Errorf("replica %d diverged:\n got: %s\nwant: %s", i+1, got, first)
+		}
+	}
+}
+
+// TestRunParallelError checks that an invalid set fails the batch with
+// the smallest failing index's error and no partial results.
+func TestRunParallelError(t *testing.T) {
+	sets := parallelTestSets(t)
+	bad := &job.Set{Machine: 0}
+	mixed := append(append([]*job.Set{}, sets[:2]...), bad)
+	results, err := RunParallel(mixed, func() Driver { return &Static{Policy: policy.FCFS} }, 2)
+	if err == nil {
+		t.Fatal("invalid set produced no error")
+	}
+	if results != nil {
+		t.Fatal("failed batch returned partial results")
+	}
+}

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test race soak bench bench-smoke bench-tuner bench-plan bench-plan-check bench-sim bench-sim-check bench-scale bench-scale-check fuzz repro repro-full ablations golden golden-check golden-check-full clean
+.PHONY: all ci build vet fmt-check test race soak soak-disk bench bench-smoke bench-tuner bench-plan bench-plan-check bench-sim bench-sim-check bench-scale bench-scale-check bench-recover bench-recover-check fuzz repro repro-full ablations golden golden-check golden-check-full clean
 
 all: build vet test
 
@@ -45,6 +45,13 @@ race:
 # schedules are seeded, so a failure here reproduces exactly.
 soak:
 	$(GO) test -race -count=1 -run TestChaosSoak -v ./internal/rms/chaos/
+
+# Crash-recovery soak: a real dynpd process under protocol load with
+# seeded disk faults eating at its journal, kill -9'd and restarted every
+# cycle. Asserts byte-identical restored state and no lost or
+# double-finished jobs. Seeded, so a failure reproduces.
+soak-disk:
+	$(GO) test -race -count=1 -run TestDiskFaultRecoverySoak -v ./internal/rms/chaos/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -93,9 +100,22 @@ bench-scale:
 bench-scale-check:
 	$(GO) run ./cmd/benchscale -check BENCH_scale.json
 
+# Refresh the committed crash-recovery latency snapshot: checkpointed
+# restart vs full genesis replay at a 10k-event journal history.
+bench-recover:
+	$(GO) run ./cmd/benchrecover -out BENCH_recover.json
+
+# Fail when the checkpoint-over-genesis recovery speedup fell below 10x
+# or regressed >25% against the committed BENCH_recover.json. Ratios, not
+# absolute ns, so the gate is machine-neutral. CI runs this in the
+# bench-smoke job.
+bench-recover-check:
+	$(GO) run ./cmd/benchrecover -check BENCH_recover.json
+
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/swf/
 	$(GO) test -fuzz=FuzzServeConn -fuzztime=30s ./internal/rms/
+	$(GO) test -fuzz=FuzzJournalRecover -fuzztime=30s ./internal/rms/
 	$(GO) test -fuzz=FuzzProfileVsReference -fuzztime=30s ./internal/profile/
 
 # Reduced-scale reproduction of every table and figure (about 4 minutes).

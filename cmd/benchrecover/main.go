@@ -1,0 +1,224 @@
+// Command benchrecover measures crash-recovery latency: it builds a
+// journal with a deterministic 10k-event history (rotating through
+// periodic checkpoints), then times restarting from it both ways —
+// fast restore from the newest checkpoint plus tail replay, and full
+// replay from genesis — and writes the measurements as a JSON snapshot
+// (BENCH_recover.json) so CI can fail on recovery regressions.
+//
+//	benchrecover -out BENCH_recover.json
+//	benchrecover -check BENCH_recover.json   # compare a fresh run against a baseline
+//
+// Absolute nanoseconds vary with the machine, so -check gates on the
+// machine-neutral genesis-over-fast ratio: checkpointed restart must be
+// at least 10x faster than full replay at a 10k-event history (the
+// bounded-time recovery promise), and may not fall more than 25% below
+// the baseline's ratio.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"dynp/internal/benchgate"
+	"dynp/internal/core"
+	"dynp/internal/job"
+	"dynp/internal/policy"
+	"dynp/internal/rms"
+	"dynp/internal/sim"
+)
+
+const (
+	capacity = 64
+	// events is the history length the recovery promise is stated at.
+	events = 10_000
+	// floorRatio is the acceptance bar: checkpoint restart must beat full
+	// replay by at least this factor regardless of the baseline file.
+	floorRatio = 10.0
+	// maxRegression is how far the ratio may fall below its baseline
+	// before -check fails the build. Recovery times are small, so the
+	// tolerance is looser than the throughput benchmarks'.
+	maxRegression = 0.25
+)
+
+type snapshot struct {
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	Capacity        int     `json:"capacity"`
+	Events          int64   `json:"events"`
+	CheckpointEvery int     `json:"checkpoint_every"`
+	Segments        int     `json:"segments"`
+	FastNsPerOp     int64   `json:"fast_ns_per_op"`
+	GenesisNsPerOp  int64   `json:"genesis_ns_per_op"`
+	Ratio           float64 `json:"ratio"` // genesis ns / fast ns
+}
+
+func main() {
+	out := flag.String("out", "BENCH_recover.json", "output file ('-' for stdout)")
+	check := flag.String("check", "", "baseline BENCH_recover.json to compare a fresh run against (no output written)")
+	ckptEvery := flag.Int("checkpoint-every", rms.DefaultSnapshotEvery, "journal checkpoint interval in events")
+	flag.Parse()
+
+	if *check != "" {
+		raw, err := os.ReadFile(*check)
+		fail(err)
+		var base snapshot
+		fail(json.Unmarshal(raw, &base))
+		fail(benchgate.PinProcs("benchrecover", base.GoMaxProcs))
+		os.Exit(compare(base, measure(*ckptEvery)))
+	}
+
+	snap := measure(*ckptEvery)
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	fail(err)
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+	} else {
+		err = os.WriteFile(*out, enc, 0o644)
+	}
+	fail(err)
+}
+
+func newSched() *rms.Scheduler {
+	s, err := rms.New(capacity, sim.NewDynP(core.Preferred{Policy: policy.SJF}), 0)
+	fail(err)
+	return s
+}
+
+// buildJournal drives a journaled scheduler through a deterministic
+// mixed history (submissions, clock moves, completions, cancellations,
+// atomic deliveries) until the journal holds the target event count.
+func buildJournal(dir string, ckptEvery int) (string, int) {
+	path := filepath.Join(dir, "journal")
+	j, err := rms.OpenJournal(path)
+	fail(err)
+	j.SetSnapshotEvery(ckptEvery)
+	s := newSched()
+	fail(s.SetJournal(j))
+
+	rng := uint64(0xD1CE)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	now := int64(0)
+	for j.Events() < events {
+		switch next(8) {
+		case 0, 1, 2, 3:
+			if _, err := s.Submit(1+next(8), int64(30+next(600))); err != nil {
+				fail(err)
+			}
+		case 4:
+			now += int64(1 + next(90))
+			fail(s.Advance(now))
+		case 5:
+			if running := s.Status().Running; len(running) > 0 {
+				if _, err := s.Complete(running[next(len(running))].ID); err != nil {
+					fail(err)
+				}
+			}
+		case 6:
+			if waiting := s.Status().Waiting; len(waiting) > 0 {
+				if err := s.Cancel(waiting[next(len(waiting))].ID); err != nil {
+					fail(err)
+				}
+			}
+		case 7:
+			now += int64(1 + next(30))
+			subs := make([]rms.Submission, 1+next(3))
+			for i := range subs {
+				subs[i] = rms.Submission{Width: 1 + next(8), Estimate: int64(30 + next(300))}
+			}
+			var completions []job.ID
+			if running := s.Status().Running; len(running) > 0 {
+				completions = []job.ID{running[next(len(running))].ID}
+			}
+			// A delivery may be rejected (e.g. the completion races the
+			// estimate kill at the new time); the rejection is journaled
+			// and replayed identically, so it still counts as history.
+			_, _ = s.Deliver(now, completions, subs)
+		}
+		fail(j.Err())
+	}
+	segments := j.Segment()
+	fail(j.Close())
+	return path, segments
+}
+
+func measure(ckptEvery int) snapshot {
+	dir, err := os.MkdirTemp("", "benchrecover")
+	fail(err)
+	defer os.RemoveAll(dir)
+	path, segments := buildJournal(dir, ckptEvery)
+
+	restart := func(genesis bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				j, err := rms.OpenJournal(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := newSched()
+				if genesis {
+					_, err = j.ReplayGenesis(s)
+				} else {
+					_, err = j.Replay(s)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := j.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	fastRes := testing.Benchmark(restart(false))
+	genesisRes := testing.Benchmark(restart(true))
+
+	snap := snapshot{
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Capacity:        capacity,
+		Events:          events,
+		CheckpointEvery: ckptEvery,
+		Segments:        segments,
+		FastNsPerOp:     fastRes.NsPerOp(),
+		GenesisNsPerOp:  genesisRes.NsPerOp(),
+	}
+	if snap.FastNsPerOp > 0 {
+		snap.Ratio = float64(snap.GenesisNsPerOp) / float64(snap.FastNsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "benchrecover: %d events, %d segments, checkpoint every %d\n",
+		snap.Events, snap.Segments, snap.CheckpointEvery)
+	fmt.Fprintf(os.Stderr, "benchrecover: fast restart    %12d ns/op\n", snap.FastNsPerOp)
+	fmt.Fprintf(os.Stderr, "benchrecover: genesis replay  %12d ns/op\n", snap.GenesisNsPerOp)
+	fmt.Fprintf(os.Stderr, "benchrecover: speedup %.1fx\n", snap.Ratio)
+	return snap
+}
+
+func compare(base, fresh snapshot) int {
+	limit := floorRatio
+	if b := base.Ratio * (1 - maxRegression); b > limit {
+		limit = b
+	}
+	status := "ok"
+	exit := 0
+	if fresh.Ratio < limit {
+		status = "REGRESSION"
+		exit = 1
+	}
+	fmt.Fprintf(os.Stderr, "benchrecover: checkpoint-over-genesis speedup %.1fx (limit %.1fx): %s\n",
+		fresh.Ratio, limit, status)
+	return exit
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecover:", err)
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,8 @@
 //	dynpctl trace -n 20          # recent engine transitions
 //	dynpctl metrics              # lifetime engine metrics
 //	dynpctl restore -procs 8     # bring them back
+//	dynpctl health               # liveness: served even during replay
+//	dynpctl ready                # readiness: exit 0 ready, 3 not ready
 package main
 
 import (
@@ -145,6 +147,25 @@ func main() {
 			}
 			fmt.Println()
 		}
+	case "health":
+		h, err := c.Health()
+		fail(err)
+		state := "ready"
+		if !h.Ready {
+			state = "not ready: " + h.Reason
+		}
+		fmt.Printf("%s  queue %d  conns %d\n", state, h.QueueDepth, h.Conns)
+		if h.JournalErr != "" {
+			fmt.Printf("journal error: %s\n", h.JournalErr)
+		}
+	case "ready":
+		ok, reason, err := c.Ready()
+		fail(err)
+		if !ok {
+			fmt.Printf("not ready: %s\n", reason)
+			os.Exit(3)
+		}
+		fmt.Println("ready")
 	case "metrics":
 		m, err := c.Metrics()
 		fail(err)
@@ -173,7 +194,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dynpctl <submit|done|cancel|job|status|tick|finished|report|fail|restore|trace|metrics> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dynpctl <submit|done|cancel|job|status|tick|finished|report|fail|restore|trace|metrics|health|ready> [flags]")
 	os.Exit(2)
 }
 

@@ -15,7 +15,16 @@
 // With -journal <path> the daemon appends every state-changing event to a
 // write-ahead journal before applying it. After a crash (even kill -9),
 // restarting on the same journal replays the history and resumes with
-// byte-identical state; see DESIGN.md's fault-model section.
+// byte-identical state; see DESIGN.md's fault-model section. Recovery is
+// bounded-time: periodic checkpoints rotate the journal into segments, and
+// -replay-mode fast restores from the newest valid checkpoint instead of
+// replaying from genesis.
+//
+// The server degrades gracefully under overload: -max-conns bounds
+// concurrent connections (reads are shed first so mutating operations are
+// never starved by read floods), -write-timeout disconnects stalled
+// clients, and the health/ready protocol ops report liveness and readiness
+// even during journal replay.
 //
 // Example session (with netcat):
 //
@@ -37,11 +46,13 @@ import (
 
 	"dynp"
 	"dynp/internal/rms"
+	"dynp/internal/vfs"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7677", "TCP listen address")
+		addrFile  = flag.String("addr-file", "", "write the bound listen address to this file (for :0 listeners)")
 		procs     = flag.Int("procs", 64, "machine size in processors")
 		scheduler = flag.String("scheduler", "dynP/SJF-preferred",
 			"scheduler: FCFS, SJF, LJF, EASY, dynP/simple, dynP/advanced, dynP/<POLICY>-preferred")
@@ -49,8 +60,22 @@ func main() {
 			"real-time mode: virtual seconds per wall-clock second (0 = virtual clock via 'tick')")
 		journalPath = flag.String("journal", "",
 			"write-ahead event journal; an existing journal is replayed on startup, restoring pre-crash state")
+		journalKeep = flag.Int("journal-keep", -1,
+			"rotated journal segments to retain past the newest checkpoint (-1 = keep all, preserving full-history audit)")
+		journalCkpt = flag.Int("journal-checkpoint", 0,
+			"cut a checkpoint and rotate the journal every N events (0 = default interval)")
+		replayMode = flag.String("replay-mode", "fast",
+			"journal recovery: 'fast' restores from the newest valid checkpoint, 'genesis' replays the full history and verifies every checkpoint")
+		diskFault = flag.String("disk-fault", "",
+			"inject seeded disk faults into the journal (testing): e.g. seed=7,writefail=0.01,short=0.02,bitflip=0,syncfail=0.005,rename=0")
 		idleTimeout = flag.Duration("idle-timeout", 0,
 			"drop client connections idle longer than this (0 = keep forever)")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second,
+			"per-response write deadline; a stalled client is disconnected (0 = none)")
+		maxConns = flag.Int("max-conns", 0,
+			"connection cap: beyond it reads are shed, beyond twice it connections are refused (0 = unlimited)")
+		readyMaxQueue = flag.Int("ready-max-queue", 0,
+			"report not-ready when more than this many jobs are waiting (0 = no watermark)")
 		traceLen = flag.Int("trace", 512,
 			"engine event trace: ring-buffer length backing the 'trace' and 'metrics' ops (0 = disabled)")
 	)
@@ -70,24 +95,55 @@ func main() {
 		sched.AddObserver(trace)
 	}
 
+	// Listen before replay: health and ready are served immediately, so
+	// orchestrators can distinguish "recovering" from "dead" while a long
+	// journal replays. Everything else is refused until SetReady(true).
+	server := rms.NewServer(sched, *timescale == 0)
+	server.IdleTimeout = *idleTimeout
+	server.WriteTimeout = *writeTimeout
+	server.MaxConns = *maxConns
+	server.ReadyMaxQueue = *readyMaxQueue
+	server.Trace = trace
+	server.SetReady(false)
+	bound, err := server.Listen(*addr)
+	fail(err)
+	if *addrFile != "" {
+		fail(os.WriteFile(*addrFile, []byte(bound.String()+"\n"), 0o644))
+	}
+
 	if *journalPath != "" {
-		journal, err := rms.OpenJournal(*journalPath)
+		fsys := vfs.FS(vfs.OS)
+		if *diskFault != "" {
+			cfg, err := vfs.ParseFaultConfig(*diskFault)
+			fail(err)
+			fsys = vfs.NewFaulty(vfs.OS, cfg)
+			fmt.Fprintf(os.Stderr, "dynpd: journal disk-fault injection active (%s)\n", *diskFault)
+		}
+		journal, err := rms.OpenJournalFS(fsys, *journalPath)
 		fail(err)
-		replayed, err := journal.Replay(sched)
+		journal.SetKeep(*journalKeep)
+		if *journalCkpt > 0 {
+			journal.SetSnapshotEvery(*journalCkpt)
+		}
+		var replayed int
+		switch *replayMode {
+		case "fast":
+			replayed, err = journal.Replay(sched)
+		case "genesis":
+			replayed, err = journal.ReplayGenesis(sched)
+		default:
+			err = fmt.Errorf("unknown -replay-mode %q (want fast or genesis)", *replayMode)
+		}
 		fail(err)
 		if replayed > 0 {
-			fmt.Fprintf(os.Stderr, "dynpd: replayed %d events from %s, resuming at t=%d\n",
-				replayed, *journalPath, sched.Now())
+			fmt.Fprintf(os.Stderr, "dynpd: replayed %d events from %s (%s), resuming at t=%d\n",
+				replayed, *journalPath, *replayMode, sched.Now())
 		}
 		fail(sched.SetJournal(journal))
 		defer journal.Close()
 	}
 
-	server := rms.NewServer(sched, *timescale == 0)
-	server.IdleTimeout = *idleTimeout
-	server.Trace = trace
-	bound, err := server.Listen(*addr)
-	fail(err)
+	server.SetReady(true)
 	fmt.Fprintf(os.Stderr, "dynpd: %s scheduling %d processors on %s (clock: %s)\n",
 		spec.Name, *procs, bound, clockMode(*timescale))
 

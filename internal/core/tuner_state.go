@@ -1,0 +1,146 @@
+// Checkpoint serialisation of the self-tuner's decision state: the
+// active policy, the aggregated statistics and the decision trace. The
+// allocation-lean fast paths (incremental views, plan memoization) are
+// deliberately not captured — both are pure optimisations proven
+// byte-identical to the slow paths, so a restored tuner that rebuilds
+// its first plan from scratch produces exactly the schedules a
+// never-restarted tuner would have. The views are re-primed by the
+// engine's queue-tracker notifications during restore.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"dynp/internal/policy"
+)
+
+// Scores can be ±Inf (a NaN metric score is canonicalised to +Inf by the
+// deciders' ordering), which encoding/json refuses to encode as float64,
+// so decisions serialise their values as IEEE-754 bit patterns.
+type decState struct {
+	Time   int64    `json:"t"`
+	Old    string   `json:"old"`
+	Chosen string   `json:"chosen"`
+	Values []uint64 `json:"values,omitempty"`
+}
+
+type tunerState struct {
+	Active   string         `json:"active"`
+	Steps    int            `json:"steps"`
+	Switches int            `json:"switches"`
+	Chosen   map[string]int `json:"chosen,omitempty"`
+	Last     *decState      `json:"last,omitempty"`
+	Trace    []decState     `json:"trace,omitempty"`
+}
+
+func encodeDecision(d Decision) decState {
+	out := decState{Time: d.Time, Old: d.Old.String(), Chosen: d.Chosen.String()}
+	for _, v := range d.Values {
+		out.Values = append(out.Values, math.Float64bits(v))
+	}
+	return out
+}
+
+func decodeDecision(s decState) (Decision, error) {
+	old, err := policy.Parse(s.Old)
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: tuner state: %w", err)
+	}
+	chosen, err := policy.Parse(s.Chosen)
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: tuner state: %w", err)
+	}
+	d := Decision{Time: s.Time, Old: old, Chosen: chosen}
+	for _, bits := range s.Values {
+		d.Values = append(d.Values, math.Float64frombits(bits))
+	}
+	return d, nil
+}
+
+// MarshalState serialises the tuner's decision state — active policy,
+// statistics, last decision and (when tracing) the decision trace — for
+// a checkpoint. The encoding is deterministic: the same tuner state
+// always yields the same bytes.
+func (t *SelfTuner) MarshalState() ([]byte, error) {
+	st := tunerState{
+		Active:   t.active.String(),
+		Steps:    t.stats.Steps,
+		Switches: t.stats.Switches,
+	}
+	if len(t.stats.Chosen) > 0 {
+		st.Chosen = make(map[string]int, len(t.stats.Chosen))
+		for p, n := range t.stats.Chosen {
+			st.Chosen[p.String()] = n
+		}
+	}
+	if t.hasLast {
+		d := encodeDecision(t.last)
+		st.Last = &d
+	}
+	for _, d := range t.trace {
+		st.Trace = append(st.Trace, encodeDecision(d))
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalState installs a previously marshalled decision state into a
+// tuner constructed with the same candidate set, decider and metric.
+// Queue-tracking state is untouched (it is rebuilt by the restore's
+// NoteSubmit notifications), and the memoized previous step is left
+// invalid — the first Plan after a restore is a full rebuild, which is
+// byte-identical to what the memo would have produced.
+func (t *SelfTuner) UnmarshalState(data []byte) error {
+	var st tunerState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("core: tuner state: %w", err)
+	}
+	active, err := policy.Parse(st.Active)
+	if err != nil {
+		return fmt.Errorf("core: tuner state: %w", err)
+	}
+	ok := false
+	for _, c := range t.candidates {
+		if c == active {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("core: tuner state: active policy %v is not a candidate", active)
+	}
+	stats := Stats{Steps: st.Steps, Switches: st.Switches, Chosen: make(map[policy.Policy]int)}
+	for name, n := range st.Chosen {
+		p, err := policy.Parse(name)
+		if err != nil {
+			return fmt.Errorf("core: tuner state: %w", err)
+		}
+		stats.Chosen[p] = n
+	}
+	var last Decision
+	hasLast := false
+	if st.Last != nil {
+		if last, err = decodeDecision(*st.Last); err != nil {
+			return err
+		}
+		hasLast = true
+	}
+	var trace []Decision
+	for _, s := range st.Trace {
+		d, err := decodeDecision(s)
+		if err != nil {
+			return err
+		}
+		trace = append(trace, d)
+	}
+
+	t.active = active
+	t.stats = stats
+	t.last, t.hasLast = last, hasLast
+	if t.traceOn {
+		t.trace = trace
+	}
+	t.prevValid = false
+	return nil
+}

@@ -3,6 +3,7 @@ package rms
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -10,6 +11,17 @@ import (
 	"dynp/internal/job"
 	"dynp/internal/rng"
 )
+
+// ServerError is a deterministic server-side rejection ({"ok":false}).
+// Busy marks overload shedding: the request was not judged on its
+// merits and is safe to retry after backoff — the client does so
+// automatically for idempotent calls.
+type ServerError struct {
+	Msg  string
+	Busy bool
+}
+
+func (e *ServerError) Error() string { return "rms: server: " + e.Msg }
 
 // Default reliability parameters for ClientOptions zero values.
 const (
@@ -200,7 +212,14 @@ func (c *Client) call(req Request, idempotent bool) (Response, error) {
 		resp, err := c.roundTrip(req)
 		if err == nil {
 			if !resp.OK {
-				return resp, fmt.Errorf("rms: server: %s", resp.Error)
+				serr := &ServerError{Msg: resp.Error, Busy: resp.Busy}
+				if resp.Busy && idempotent {
+					// Overload shedding, not a verdict: back off and
+					// retry. The connection itself is healthy.
+					lastErr = serr
+					continue
+				}
+				return resp, serr
 			}
 			return resp, nil
 		}
@@ -327,6 +346,54 @@ func (c *Client) Restore(procs int) (Status, error) {
 		return Status{}, fmt.Errorf("rms: restore: empty response")
 	}
 	return *resp.Status, nil
+}
+
+// Deliver applies an atomic event batch on the server (virtual mode
+// only): move the clock to t, complete the given jobs, submit subs, one
+// replanning step. It returns the submissions' infos, in order.
+func (c *Client) Deliver(t int64, completions []job.ID, subs []Submission) ([]JobInfo, error) {
+	ids := make([]int64, len(completions))
+	for i, id := range completions {
+		ids[i] = int64(id)
+	}
+	resp, err := c.call(Request{Op: "deliver", To: t, Completions: ids, Subs: subs}, false)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Health fetches the server's health detail. It is served even while
+// the server is starting up or its journal has failed. Idempotent:
+// retried on network failures.
+func (c *Client) Health() (HealthInfo, error) {
+	resp, err := c.call(Request{Op: "health"}, true)
+	if err != nil {
+		return HealthInfo{}, err
+	}
+	if resp.Health == nil {
+		return HealthInfo{}, fmt.Errorf("rms: health: empty response")
+	}
+	return *resp.Health, nil
+}
+
+// Ready asks whether the server is ready to take load. A reachable
+// server that answers "not ready" yields ok false with its reason and a
+// nil error; only transport failures return an error.
+func (c *Client) Ready() (bool, string, error) {
+	resp, err := c.call(Request{Op: "ready"}, true)
+	if err != nil {
+		var serr *ServerError
+		if errors.As(err, &serr) {
+			reason := serr.Msg
+			if resp.Health != nil && resp.Health.Reason != "" {
+				reason = resp.Health.Reason
+			}
+			return false, reason, nil
+		}
+		return false, "", err
+	}
+	return true, "", nil
 }
 
 // Trace fetches the last n engine transitions from the server's event

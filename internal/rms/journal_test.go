@@ -213,7 +213,7 @@ func TestJournalRecoversTruncatedTail(t *testing.T) {
 	}
 }
 
-func TestJournalCorruptLineEndsValidPrefix(t *testing.T) {
+func TestJournalInteriorCorruptionRefused(t *testing.T) {
 	live, j, path := journaledScheduler(t, 8, 0)
 	for i := 0; i < 5; i++ {
 		if _, err := live.Submit(1, 10); err != nil {
@@ -222,8 +222,9 @@ func TestJournalCorruptLineEndsValidPrefix(t *testing.T) {
 	}
 	j.Close()
 
-	// Corrupt a middle line: everything after it is unrecoverable and
-	// must be discarded, keeping the longest valid prefix.
+	// Corrupt a middle line. The events after it were acknowledged to
+	// clients; truncating them away would silently lose jobs, so the
+	// journal must refuse to open rather than "recover".
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -232,52 +233,100 @@ func TestJournalCorruptLineEndsValidPrefix(t *testing.T) {
 	if len(lines) < 5 {
 		t.Fatalf("journal too short: %d lines", len(lines))
 	}
-	lines[3] = "garbage not json\n"
-	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+	corrupted := append([]string(nil), lines...)
+	corrupted[3] = "garbage not json\n"
+	if err := os.WriteFile(path, []byte(strings.Join(corrupted, "")), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("journal with interior corruption opened")
+	}
+	if got, _ := os.ReadFile(path); string(got) != strings.Join(corrupted, "") {
+		t.Error("refused open modified the journal file")
+	}
 
+	// The same garbage as the *last* line is a torn tail: recoverable by
+	// truncation, losing only the final, never-acknowledged event.
+	trunc := append([]string(nil), lines[:5]...)
+	trunc = append(trunc, "garbage not json\n")
+	if err := os.WriteFile(path, []byte(strings.Join(trunc, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	replayed, j2, n, err := replayFresh(t, path, 8)
 	if err != nil {
-		t.Fatalf("replay after mid-file corruption: %v", err)
+		t.Fatalf("replay after torn-tail garbage: %v", err)
 	}
 	defer j2.Close()
-	// Header + 2 events survive (line 4 of 6 was destroyed).
-	if n != 2 {
-		t.Errorf("replayed %d events, want 2", n)
+	if n != 4 {
+		t.Errorf("replayed %d events, want 4", n)
 	}
-	if got := len(replayed.Status().Running) + len(replayed.Status().Waiting); got != 2 {
-		t.Errorf("%d jobs after prefix recovery, want 2", got)
+	if got := len(replayed.Status().Running) + len(replayed.Status().Waiting); got != 4 {
+		t.Errorf("%d jobs after tail recovery, want 4", got)
 	}
 }
 
-func TestJournalSnapshotDetectsTampering(t *testing.T) {
-	live, j, path := journaledScheduler(t, 8, 2)
-	driveRandomEvents(t, live, 11, 30)
-	j.Close()
-
-	// Flip a submitted width inside the journal: replay now diverges
-	// from the recorded snapshots and must say so instead of silently
-	// rebuilding different state.
+// retamper rewrites one journal record's payload and recomputes its
+// checksum, simulating tampering that the per-record CRC cannot catch —
+// only checkpoint verification can.
+func retamper(t *testing.T, path, old, new string) bool {
+	t.Helper()
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tampered := strings.Replace(string(data), `"op":"submit","width":`, `"op":"submit","width":1`, 1)
-	if tampered == string(data) {
-		t.Skip("no submit event to tamper with")
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if len(line) < 10 || !strings.Contains(line, old) {
+			continue
+		}
+		payload := strings.Replace(line[9:], old, new, 1)
+		lines[i] = string(encodeRecordPayload(t, payload))
+		if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return true
 	}
-	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+	return false
+}
+
+func encodeRecordPayload(t *testing.T, payload string) []byte {
+	t.Helper()
+	var l journalLine
+	if err := json.Unmarshal([]byte(payload), &l); err != nil {
 		t.Fatal(err)
 	}
-
-	_, j2, _, err := replayFresh(t, path, 8)
-	if err == nil {
-		t.Fatal("tampered journal replayed without error")
+	b, err := encodeRecord(&l)
+	if err != nil {
+		t.Fatal(err)
 	}
-	j2.Close()
-	if !strings.Contains(err.Error(), "snapshot") {
-		t.Errorf("error %q does not mention the snapshot check", err)
+	return b[:len(b)-1] // strip the newline; Join re-adds it
+}
+
+func TestJournalGenesisReplayDetectsTampering(t *testing.T) {
+	live, j, path := journaledScheduler(t, 8, 2)
+	driveRandomEvents(t, live, 11, 30)
+	j.Close()
+
+	// Flip a submitted width deep in the history — in a rotated segment,
+	// where a later checkpoint covers it — with a recomputed checksum, so
+	// only semantic verification can notice. Fast replay never re-applies
+	// pre-checkpoint events; the genesis audit must catch the divergence.
+	if !retamper(t, path+".0", `"width":`, `"width":1`) {
+		t.Skip("no submit event in the genesis segment to tamper with")
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	s, err := New(8, newDynP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.ReplayGenesis(s); err == nil {
+		t.Fatal("tampered journal passed the genesis audit")
+	} else if !strings.Contains(err.Error(), "checkpoint") {
+		t.Errorf("error %q does not mention the checkpoint verification", err)
 	}
 }
 

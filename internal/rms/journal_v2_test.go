@@ -1,0 +1,354 @@
+// Tests for the version-2 journal: checkpoint rotation, the recovery
+// ladder, compaction, continuation repair after a crashed rotation, and
+// the sticky-error policy under injected disk faults.
+package rms
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dynp/internal/vfs"
+)
+
+// corruptSegmentRecord overwrites record n (0-based line) of the given
+// segment file with bytes that fail the checksum.
+func corruptSegmentRecord(t *testing.T, path string, n int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if n >= len(lines) {
+		t.Fatalf("segment %s has %d records, wanted to corrupt %d", path, len(lines), n)
+	}
+	lines[n] = strings.Repeat("x", len(lines[n])-1) + "\n"
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalCheckpointRestart: a restart from the newest checkpoint and
+// a full genesis replay must rebuild byte-identical externally visible
+// state, and the fast path must not need the full history.
+func TestJournalCheckpointRestart(t *testing.T) {
+	live, j, path := journaledScheduler(t, 8, 5)
+	driveRandomEvents(t, live, 0xbeef, 120)
+	want := fingerprint(t, live)
+	if j.Segment() < 2 {
+		t.Fatalf("only %d rotations after 120 events with checkpoints every 5", j.Segment())
+	}
+	total := j.Events()
+	j.Close()
+
+	fast, jf, n, err := replayFresh(t, path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	if int64(n) != total {
+		t.Errorf("fast replay accounts for %d events, journal holds %d", n, total)
+	}
+	if got := fingerprint(t, fast); got != want {
+		t.Errorf("checkpoint restart diverges\nlive: %s\nfast: %s", want, got)
+	}
+
+	jg, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jg.Close()
+	genesis, err := New(8, newDynP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jg.ReplayGenesis(genesis); err != nil {
+		t.Fatalf("genesis audit: %v", err)
+	}
+	if got := fingerprint(t, genesis); got != want {
+		t.Errorf("genesis replay diverges\nlive:    %s\ngenesis: %s", want, got)
+	}
+
+	// Both restarted schedulers must behave identically from here on.
+	driveRandomEvents(t, fast, 0xf00d, 40)
+	driveRandomEvents(t, genesis, 0xf00d, 40)
+	if f, g := fingerprint(t, fast), fingerprint(t, genesis); f != g {
+		t.Errorf("restored schedulers diverge on identical futures\nfast:    %s\ngenesis: %s", f, g)
+	}
+}
+
+// TestJournalLadderFallback: a corrupted checkpoint record must not lose
+// the journal — replay falls back one checkpoint at a time, and with
+// every checkpoint destroyed, all the way to genesis, rebuilding the
+// same state each time.
+func TestJournalLadderFallback(t *testing.T) {
+	live, j, path := journaledScheduler(t, 8, 5)
+	driveRandomEvents(t, live, 0xabc, 60)
+	want := fingerprint(t, live)
+	top := j.Segment()
+	if top < 3 {
+		t.Fatalf("only %d segments", top)
+	}
+	j.Close()
+
+	// Destroy the newest checkpoint (record 1 of the active segment).
+	corruptSegmentRecord(t, path, 1)
+	s1, j1, _, err := replayFresh(t, path, 8)
+	if err != nil {
+		t.Fatalf("replay with newest checkpoint corrupt: %v", err)
+	}
+	j1.Close()
+	if got := fingerprint(t, s1); got != want {
+		t.Errorf("one-rung fallback diverges\nlive: %s\ngot:  %s", want, got)
+	}
+
+	// Destroy every checkpoint: only genesis replay remains, and it must
+	// still rebuild the identical state.
+	for seq := 1; seq < top; seq++ {
+		corruptSegmentRecord(t, path+"."+itoa(seq), 1)
+	}
+	s2, j2, _, err := replayFresh(t, path, 8)
+	if err != nil {
+		t.Fatalf("replay with all checkpoints corrupt: %v", err)
+	}
+	j2.Close()
+	if got := fingerprint(t, s2); got != want {
+		t.Errorf("genesis fallback diverges\nlive: %s\ngot:  %s", want, got)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// TestJournalCompact: compaction retires segments the newest durable
+// checkpoint makes redundant — fast replay keeps working, the genesis
+// audit honestly refuses.
+func TestJournalCompact(t *testing.T) {
+	live, j, path := journaledScheduler(t, 8, 5)
+	driveRandomEvents(t, live, 0x777, 80)
+	want := fingerprint(t, live)
+	top := j.Segment()
+	if top < 4 {
+		t.Fatalf("only %d segments", top)
+	}
+	removed, err := j.Compact(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("compaction removed nothing")
+	}
+	if _, err := os.Stat(path + ".0"); !os.IsNotExist(err) {
+		t.Error("genesis segment survived Compact(1)")
+	}
+	j.Close()
+
+	fast, jf, _, err := replayFresh(t, path, 8)
+	if err != nil {
+		t.Fatalf("replay after compaction: %v", err)
+	}
+	jf.Close()
+	if got := fingerprint(t, fast); got != want {
+		t.Errorf("post-compaction replay diverges\nlive: %s\ngot:  %s", want, got)
+	}
+
+	jg, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jg.Close()
+	s, err := New(8, newDynP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jg.ReplayGenesis(s); err == nil {
+		t.Error("genesis audit succeeded without the genesis segment")
+	} else if !strings.Contains(err.Error(), "compacted") {
+		t.Errorf("error %q does not mention compaction", err)
+	}
+}
+
+// TestJournalAutoCompact: with SetKeep, every checkpoint rotation prunes
+// the history down to the retention bound automatically.
+func TestJournalAutoCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSnapshotEvery(5)
+	j.SetKeep(2)
+	s, err := New(8, newDynP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	driveRandomEvents(t, s, 0x222, 80)
+	want := fingerprint(t, s)
+	rot, err := j.rotatedSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything below the newest checkpoint is pruned to 2 segments; the
+	// segment carrying that checkpoint (and any later ones) also remain.
+	if len(rot) > 3 {
+		t.Errorf("%d rotated segments remain with keep=2: %v", len(rot), rot)
+	}
+	j.Close()
+	fast, jf, _, err := replayFresh(t, path, 8)
+	if err != nil {
+		t.Fatalf("replay after auto-compaction: %v", err)
+	}
+	jf.Close()
+	if got := fingerprint(t, fast); got != want {
+		t.Errorf("auto-compacted replay diverges\nlive: %s\ngot:  %s", want, got)
+	}
+}
+
+// TestJournalContinuationAfterCrashedRotation: a crash between sealing
+// the old segment and writing the new one leaves an empty (or torn)
+// active file; reopening must self-heal into a continuation segment and
+// replay losslessly via the ladder.
+func TestJournalContinuationAfterCrashedRotation(t *testing.T) {
+	live, j, path := journaledScheduler(t, 8, 5)
+	driveRandomEvents(t, live, 0x919, 60)
+	want := fingerprint(t, live)
+	top := j.Segment()
+	j.Close()
+
+	for name, damage := range map[string]func(){
+		"missing": func() { os.Remove(path) },
+		"empty":   func() { os.WriteFile(path, nil, 0o644) },
+		"torn":    func() { os.WriteFile(path, []byte("xxxxxxxx {\"torn\":"), 0o644) },
+	} {
+		// Simulate the crash window: the rotation's rename happened but
+		// the new active segment never made it.
+		saved, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(path, path+"."+itoa(top)); err != nil {
+			t.Fatal(err)
+		}
+		damage()
+
+		fast, j2, _, err := replayFresh(t, path, 8)
+		if err != nil {
+			t.Fatalf("%s active segment: %v", name, err)
+		}
+		if got := fingerprint(t, fast); got != want {
+			t.Errorf("%s active segment: continuation replay diverges\nlive: %s\ngot:  %s", name, want, got)
+		}
+		if got := j2.Segment(); got != top+1 {
+			t.Errorf("%s active segment: continuation got sequence %d, want %d", name, got, top+1)
+		}
+
+		// The continuation must journal further events durably.
+		if _, err := fast.Submit(1, 5); err != nil {
+			t.Errorf("%s active segment: submit on continuation: %v", name, err)
+		}
+		j2.Close()
+
+		// Restore the original layout for the next damage mode.
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(path+"."+itoa(top), path); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, saved, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestJournalStickyFsync is the regression test for the swallowed
+// checkpoint fsync: a failed sync — during a checkpoint rotation or an
+// explicit Sync — must permanently fail the journal, and with it every
+// further mutation, instead of being silently ignored.
+func TestJournalStickyFsync(t *testing.T) {
+	faulty := vfs.NewFaulty(vfs.OS, vfs.FaultConfig{Seed: 1, SyncFail: 1})
+	path := filepath.Join(t.TempDir(), "events.journal")
+	j, err := OpenJournalFS(faulty, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSnapshotEvery(3)
+	s, err := New(8, newDynP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	if s.JournalErr() != nil {
+		t.Fatalf("journal failed before any sync: %v", s.JournalErr())
+	}
+
+	// Drive events until a checkpoint rotation attempts the doomed sync.
+	var failed error
+	for i := 0; i < 10 && failed == nil; i++ {
+		_, err := s.Submit(1, 10)
+		failed = s.JournalErr()
+		if failed == nil && err != nil {
+			t.Fatal(err)
+		}
+	}
+	if failed == nil {
+		t.Fatal("checkpoint rotation swallowed the fsync failure")
+	}
+	if !strings.Contains(failed.Error(), "sync") {
+		t.Errorf("sticky error %q does not mention sync", failed)
+	}
+	// Sticky: every further mutation is refused.
+	if _, err := s.Submit(1, 10); err == nil {
+		t.Error("mutation accepted on a journal that cannot sync")
+	}
+	if err := j.Sync(); err == nil {
+		t.Error("Sync succeeded on a failed journal")
+	}
+	j.Close()
+}
+
+// TestJournalFaultyWrites: under injected write failures the journal
+// turns itself off at the first failure and the scheduler refuses the
+// mutation, leaving published state consistent.
+func TestJournalFaultyWrites(t *testing.T) {
+	faulty := vfs.NewFaulty(vfs.OS, vfs.FaultConfig{Seed: 7, WriteFail: 0.2})
+	path := filepath.Join(t.TempDir(), "events.journal")
+	j, err := OpenJournalFS(faulty, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(8, newDynP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetJournal(j); err != nil {
+		// The header write itself may be the first casualty.
+		return
+	}
+	accepted := 0
+	for i := 0; i < 200; i++ {
+		if _, err := s.Submit(1, 10); err != nil {
+			break
+		}
+		accepted++
+	}
+	if s.JournalErr() == nil {
+		t.Fatal("200 writes at 20% failure rate all passed")
+	}
+	// Everything acknowledged before the failure is real state.
+	st := s.Status()
+	if got := len(st.Waiting) + len(st.Running); got != accepted {
+		t.Errorf("%d jobs for %d acknowledged submissions", got, accepted)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	j.Close()
+}

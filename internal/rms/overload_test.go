@@ -1,0 +1,311 @@
+// Tests for the server's overload protection (connection cap, degraded
+// priority lane, hard shedding), the readiness protocol, and the
+// snapshot-served Job lookups that keep single-job reads off the
+// scheduling lock.
+package rms
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dynp/internal/job"
+)
+
+// rawConn is a minimal protocol client that bypasses the Client's retry
+// machinery, so tests can observe busy responses directly.
+type rawConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	enc  *json.Encoder
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawConn{conn: conn, r: bufio.NewReader(conn), enc: json.NewEncoder(conn)}
+}
+
+func (rc *rawConn) roundTrip(t *testing.T, req Request) Response {
+	t.Helper()
+	rc.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := rc.enc.Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	line, err := rc.r.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func overloadServer(t *testing.T, maxConns int) (*Server, string) {
+	t.Helper()
+	s, err := New(16, newDynP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := NewServer(s, true)
+	sv.MaxConns = maxConns
+	sv.WriteTimeout = 5 * time.Second
+	addr, err := sv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sv.Close() })
+	return sv, addr.String()
+}
+
+// TestServerPriorityLaneUnderReadFlood is the acceptance scenario: with
+// the connection cap fully occupied by status readers, a newcomer must
+// still get its mutating ops (submit, done, deliver) through — only its
+// reads are shed.
+func TestServerPriorityLaneUnderReadFlood(t *testing.T) {
+	_, addr := overloadServer(t, 4)
+
+	// Four readers occupy every full-service slot and keep hammering.
+	stop := make(chan struct{})
+	defer close(stop)
+	for i := 0; i < 4; i++ {
+		rc := dialRaw(t, addr)
+		if resp := rc.roundTrip(t, Request{Op: "status"}); !resp.OK {
+			t.Fatalf("reader %d: %s", i, resp.Error)
+		}
+		go func() {
+			enc := json.NewEncoder(rc.conn)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if enc.Encode(Request{Op: "status"}) != nil {
+					return
+				}
+				if _, err := rc.r.ReadBytes('\n'); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	// The fifth connection lands in the degraded lane.
+	late := dialRaw(t, addr)
+	if resp := late.roundTrip(t, Request{Op: "status"}); !resp.Busy {
+		t.Errorf("degraded read not shed: %+v", resp)
+	}
+	resp := late.roundTrip(t, Request{Op: "submit", Width: 2, Estimate: 60})
+	if !resp.OK || resp.Job == nil {
+		t.Fatalf("submit shed on the priority lane: %+v", resp)
+	}
+	id := resp.Job.ID
+	if r := late.roundTrip(t, Request{Op: "deliver", To: 10, Subs: []Submission{{Width: 1, Estimate: 5}}}); !r.OK {
+		t.Errorf("deliver shed on the priority lane: %+v", r)
+	}
+	if r := late.roundTrip(t, Request{Op: "done", ID: int64(id)}); !r.OK {
+		t.Errorf("done shed on the priority lane: %+v", r)
+	}
+	// Health stays served even on the degraded lane.
+	if r := late.roundTrip(t, Request{Op: "health"}); !r.OK || r.Health == nil {
+		t.Errorf("health shed on the priority lane: %+v", r)
+	}
+}
+
+// TestServerHardConnectionCap: beyond twice the cap, connections get one
+// busy response and the door.
+func TestServerHardConnectionCap(t *testing.T) {
+	_, addr := overloadServer(t, 1)
+
+	full := dialRaw(t, addr)
+	if resp := full.roundTrip(t, Request{Op: "status"}); !resp.OK {
+		t.Fatal(resp.Error)
+	}
+	degraded := dialRaw(t, addr)
+	if resp := degraded.roundTrip(t, Request{Op: "submit", Width: 1, Estimate: 5}); !resp.OK {
+		t.Fatal(resp.Error)
+	}
+
+	over := dialRaw(t, addr)
+	over.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	line, err := over.r.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("no busy response before close: %v", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Busy || resp.OK {
+		t.Errorf("over-cap connection got %+v, want busy", resp)
+	}
+	if _, err := over.r.ReadBytes('\n'); err == nil {
+		t.Error("over-cap connection stayed open")
+	}
+}
+
+// TestClientRetriesBusyReads: the typed client treats busy shedding as
+// retryable for idempotent calls and surfaces a ServerError carrying
+// the busy flag when retries run out.
+func TestClientRetriesBusyReads(t *testing.T) {
+	_, addr := overloadServer(t, 1)
+	hog := dialRaw(t, addr)
+	if resp := hog.roundTrip(t, Request{Op: "status"}); !resp.OK {
+		t.Fatal(resp.Error)
+	}
+
+	c, err := DialOptions(addr, ClientOptions{Retries: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Status()
+	if err == nil {
+		t.Fatal("degraded status read succeeded without a free slot")
+	}
+	var serr *ServerError
+	if !errors.As(err, &serr) || !serr.Busy {
+		t.Errorf("error %v is not a busy ServerError", err)
+	}
+	// Mutations on the same degraded connection still work.
+	if _, err := c.Submit(1, 10); err != nil {
+		t.Errorf("submit on degraded connection: %v", err)
+	}
+
+	// Once the flooders leave, a fresh reader succeeds again.
+	c.Close()
+	hog.conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c2, err := DialOptions(addr, ClientOptions{Retries: 2, Backoff: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c2.Status()
+		c2.Close()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("status still shed after the flood ended: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerReadiness: before SetReady(true) only health and ready are
+// served; the ready verdict distinguishes replay, journal failure and
+// queue pressure, and a deep queue makes the server not-ready without
+// refusing work.
+func TestServerReadiness(t *testing.T) {
+	s, err := New(4, newDynP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := NewServer(s, true)
+	sv.ReadyMaxQueue = 2
+	sv.SetReady(false)
+	addr, err := sv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Submit(1, 10); err == nil || !strings.Contains(err.Error(), "starting") {
+		t.Errorf("submit while starting: %v", err)
+	}
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Ready || !strings.Contains(h.Reason, "replay") {
+		t.Errorf("health while starting: %+v", h)
+	}
+	if ok, reason, err := c.Ready(); err != nil || ok || !strings.Contains(reason, "replay") {
+		t.Errorf("ready while starting: ok=%v reason=%q err=%v", ok, reason, err)
+	}
+
+	sv.SetReady(true)
+	if ok, reason, err := c.Ready(); err != nil || !ok {
+		t.Fatalf("ready after SetReady(true): ok=%v reason=%q err=%v", ok, reason, err)
+	}
+
+	// Build queue pressure past the watermark: capacity 4, so wide jobs
+	// pile up waiting.
+	for i := 0; i < 5; i++ {
+		if _, err := c.Submit(4, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, reason, err := c.Ready()
+	if err != nil || ok || !strings.Contains(reason, "queue depth") {
+		t.Errorf("ready under queue pressure: ok=%v reason=%q err=%v", ok, reason, err)
+	}
+	// Not-ready is advisory: work is still accepted.
+	if _, err := c.Submit(1, 10); err != nil {
+		t.Errorf("submit under queue pressure: %v", err)
+	}
+}
+
+// TestJobServedFromSnapshot: Job lookups for published jobs — live or
+// finished — must complete while the scheduling mutex is held by a
+// long-running mutation.
+func TestJobServedFromSnapshot(t *testing.T) {
+	s, err := New(8, newDynP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	running, err := s.Submit(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiting, err := s.Submit(8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneJob, err := s.Submit(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Complete(doneJob.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	got := make(chan error, 1)
+	go func() {
+		for _, id := range []job.ID{running.ID, waiting.ID, doneJob.ID} {
+			if _, err := s.Job(id); err != nil {
+				got <- err
+				return
+			}
+		}
+		got <- nil
+	}()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Job blocked on the scheduling mutex for a published job")
+	}
+}

@@ -1,0 +1,271 @@
+// Journal replay: rebuilding a scheduler from disk after a restart.
+//
+// Replay is the fast path and the one dynpd uses: it restores the
+// newest valid checkpoint and applies only the events journaled behind
+// it, so restart time is bounded by the checkpoint interval instead of
+// the life of the system. Checkpoints are redundant (the events can
+// always rebuild them) so a corrupt checkpoint record is not fatal:
+// the ladder falls back one checkpoint at a time — restore the previous
+// one, apply the segments in between — and from genesis as the last
+// resort. Events are *not* redundant; a corrupt event record that no
+// newer checkpoint covers makes the journal unrecoverable and replay
+// refuses, loudly, instead of resurrecting a partial history.
+//
+// ReplayGenesis is the strict auditor: it replays every event from
+// segment 0 and verifies the rebuilt state against every checkpoint it
+// passes. Both paths produce byte-identical schedulers; the soak and
+// equivalence tests hold them to that.
+package rms
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"dynp/internal/job"
+)
+
+// Replay rebuilds scheduler state from the journal into s, which must
+// be a virgin scheduler configured identically (capacity, driver, start
+// time) to the one that wrote the journal. It restores the newest
+// usable checkpoint and applies the events behind it, falling back one
+// checkpoint at a time over corrupted ones, down to a full replay from
+// genesis. It returns the number of events since genesis the rebuilt
+// state folds in. Replay, then SetJournal, then serve.
+func (j *Journal) Replay(s *Scheduler) (int, error) {
+	return j.replayInto(s, false)
+}
+
+// ReplayGenesis rebuilds scheduler state by replaying every event from
+// the genesis segment, verifying the rebuilt state against every
+// checkpoint on the way — the audit that proves the checkpoints honest.
+// It refuses if segment 0 was compacted away or any record is invalid.
+func (j *Journal) ReplayGenesis(s *Scheduler) (int, error) {
+	return j.replayInto(s, true)
+}
+
+func (j *Journal) replayInto(s *Scheduler, genesis bool) (int, error) {
+	j.mu.Lock()
+	if j.err != nil {
+		err := j.err
+		j.mu.Unlock()
+		return 0, err
+	}
+	if j.appended {
+		j.mu.Unlock()
+		return 0, fmt.Errorf("rms: journal: cannot replay after appending")
+	}
+	header := j.header
+	active := j.activeScan
+	j.mu.Unlock()
+
+	if header == nil {
+		return 0, nil // fresh, empty journal: nothing to replay
+	}
+
+	s.mu.Lock()
+	attached := s.journal != nil
+	virgin := s.nextID == 0 && len(s.done) == 0 &&
+		len(s.eng.Waiting()) == 0 && len(s.eng.Running()) == 0
+	capacity, name, now := s.eng.Capacity(), s.driver.Name(), s.eng.Now()
+	s.mu.Unlock()
+	if attached {
+		return 0, fmt.Errorf("rms: journal: replay into a scheduler that already journals")
+	}
+	if !virgin {
+		return 0, fmt.Errorf("rms: journal: replay into a non-virgin scheduler")
+	}
+	if header.Capacity != capacity {
+		return 0, fmt.Errorf("rms: journal is for capacity %d, scheduler has %d", header.Capacity, capacity)
+	}
+	if header.Scheduler != name {
+		return 0, fmt.Errorf("rms: journal is for scheduler %q, not %q", header.Scheduler, name)
+	}
+	if header.Start != now {
+		return 0, fmt.Errorf("rms: journal starts at %d, scheduler at %d", header.Start, now)
+	}
+
+	rot, err := j.rotatedSegments()
+	if err != nil {
+		return 0, err
+	}
+	if genesis {
+		return j.replayGenesis(s, rot, active)
+	}
+	return j.replayLadder(s, rot, active)
+}
+
+// replayLadder is the fast path: descend from the active segment to the
+// newest segment whose head checkpoint is intact, restore it, apply the
+// events above it. In the normal case the active segment itself carries
+// the checkpoint and no rotated segment is read at all.
+func (j *Journal) replayLadder(s *Scheduler, rot []int, active *segScan) (int, error) {
+	rotated := make(map[int]bool, len(rot))
+	for _, seq := range rot {
+		rotated[seq] = true
+	}
+
+	// stack holds the checkpoint-less segments passed on the way down,
+	// newest first; their events replay in reverse stack order.
+	var stack []*segScan
+	finish := func(rung *segScan, base int64) (int, error) {
+		applied := 0
+		apply := func(events []Event) error {
+			for i := range events {
+				if err := s.applyEvent(&events[i]); err != nil {
+					return err
+				}
+				applied++
+			}
+			return nil
+		}
+		if err := apply(rung.events); err != nil {
+			return applied, err
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			if err := apply(stack[i].events); err != nil {
+				return applied, err
+			}
+		}
+		return int(base) + applied, nil
+	}
+
+	cur := active
+	for {
+		if !cur.clean {
+			return 0, fmt.Errorf("rms: journal: segment %d has corrupt event records not covered by any newer checkpoint — unrecoverable (audit with the rotated segments or move the journal aside)", cur.seq)
+		}
+		if cur.ckpt != nil {
+			if err := s.restoreCheckpoint(cur.ckpt); err != nil {
+				return 0, err
+			}
+			return finish(cur, cur.ckpt.Events)
+		}
+		if cur.seq == 0 {
+			// The genesis segment: a virgin scheduler is the rung.
+			return finish(cur, 0)
+		}
+		stack = append(stack, cur)
+		want := cur.seq - 1
+		if !rotated[want] {
+			return 0, fmt.Errorf("rms: journal: segment %d is missing (compacted?) and no newer checkpoint is usable", want)
+		}
+		sc, err := j.readSegment(want)
+		if err != nil {
+			return 0, err
+		}
+		if !sc.headerOK {
+			return 0, fmt.Errorf("rms: journal: segment %d has no valid header and no newer checkpoint is usable", want)
+		}
+		cur = &sc
+	}
+}
+
+// replayGenesis replays every event from segment 0, verifying state
+// against each checkpoint passed. Any defect refuses.
+func (j *Journal) replayGenesis(s *Scheduler, rot []int, active *segScan) (int, error) {
+	segs := make([]*segScan, 0, len(rot)+1)
+	for _, seq := range rot {
+		sc, err := j.readSegment(seq)
+		if err != nil {
+			return 0, err
+		}
+		segs = append(segs, &sc)
+	}
+	segs = append(segs, active)
+	for i, sc := range segs {
+		if sc.seq != i {
+			return 0, fmt.Errorf("rms: journal: genesis replay needs every segment; segment %d is missing (compacted?)", i)
+		}
+		if !sc.headerOK {
+			return 0, fmt.Errorf("rms: journal: segment %d has no valid header", i)
+		}
+		if !sc.clean {
+			return 0, fmt.Errorf("rms: journal: segment %d has corrupt records", i)
+		}
+		if sc.header.Checkpoint && sc.ckpt == nil {
+			return 0, fmt.Errorf("rms: journal: segment %d checkpoint record is corrupt", i)
+		}
+		if g := segs[0].header; sc.header.Capacity != g.Capacity ||
+			sc.header.Scheduler != g.Scheduler || sc.header.Start != g.Start {
+			return 0, fmt.Errorf("rms: journal: segment %d header disagrees with genesis configuration", i)
+		}
+	}
+	applied := 0
+	for _, sc := range segs {
+		if sc.ckpt != nil {
+			if err := verifyCheckpoint(s, sc.ckpt, int64(applied)); err != nil {
+				return applied, err
+			}
+		}
+		for i := range sc.events {
+			if err := s.applyEvent(&sc.events[i]); err != nil {
+				return applied, err
+			}
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// verifyCheckpoint compares the replayed state against a journaled
+// checkpoint. Observer state (the event trace) carries wall-clock plan
+// timings and is excluded; everything else must match byte for byte.
+func verifyCheckpoint(s *Scheduler, want *checkpointState, applied int64) error {
+	if want.Events != applied {
+		return fmt.Errorf("rms: journal: checkpoint claims %d events but replay applied %d", want.Events, applied)
+	}
+	s.mu.Lock()
+	got, err := s.captureCheckpointLocked(applied)
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("rms: journal: checkpoint verification: %w", err)
+	}
+	got.Observers = nil
+	w := *want
+	w.Observers = nil
+	a, err := json.Marshal(&got)
+	if err != nil {
+		return fmt.Errorf("rms: journal: checkpoint verification: %w", err)
+	}
+	b, err := json.Marshal(&w)
+	if err != nil {
+		return fmt.Errorf("rms: journal: checkpoint verification: %w", err)
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("rms: journal: replayed state diverges from the checkpoint after %d events — the journal was tampered with or the scheduler is not deterministic", applied)
+	}
+	return nil
+}
+
+// applyEvent re-applies one journaled external event through the public
+// mutators. Domain rejections are ignored: rejected events (a Deliver
+// batch that failed validation) are journaled too, and replaying the
+// rejection — including its clock movement — reproduces the original
+// state exactly. Only an event the scheduler cannot even dispatch is an
+// error.
+func (s *Scheduler) applyEvent(ev *Event) error {
+	switch ev.Op {
+	case opSubmit:
+		_, _ = s.Submit(ev.Width, ev.Estimate)
+	case opDone:
+		_, _ = s.Complete(job.ID(ev.ID))
+	case opCancel:
+		_ = s.Cancel(job.ID(ev.ID))
+	case opTick:
+		_ = s.Advance(ev.To)
+	case opFail:
+		_ = s.Fail(ev.Procs)
+	case opRestore:
+		_ = s.Restore(ev.Procs)
+	case opDeliver:
+		ids := make([]job.ID, len(ev.Completions))
+		for i, id := range ev.Completions {
+			ids[i] = job.ID(id)
+		}
+		_, _ = s.Deliver(ev.To, ids, ev.Subs)
+	default:
+		return fmt.Errorf("rms: journal: unknown op %q", ev.Op)
+	}
+	return nil
+}

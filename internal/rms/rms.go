@@ -116,6 +116,20 @@ type Scheduler struct {
 	done  []JobInfo // completed, killed and failed jobs, in finish order
 	agg   reportAgg // running Report aggregates over done, in finish order
 
+	// doneIdx maps a finished job to its index in done, letting Job(id)
+	// answer history lookups from the read snapshot without the
+	// scheduling lock. Guarded by doneMu, not mu, so readers resolving an
+	// index never contend with a replan.
+	doneMu  sync.RWMutex
+	doneIdx map[job.ID]int
+
+	// stateful collects the attached observers whose state rides along
+	// in journal checkpoints (see StatefulObserver).
+	stateful []StatefulObserver
+
+	// jp mirrors journal for lock-free health checks (see JournalErr).
+	jp atomic.Pointer[Journal]
+
 	// snap is the immutable read model, swapped wholesale after every
 	// mutation (see publish). Never nil once New returns.
 	snap atomic.Pointer[readSnapshot]
@@ -131,15 +145,25 @@ type readSnapshot struct {
 	status Status
 	report Report
 	done   []JobInfo
+	byID   map[job.ID]JobInfo // the live (waiting + running) jobs
 }
 
 // publish rebuilds the read model from the current state and swaps it
 // in. Callers hold the scheduling lock; readers are never blocked by it.
 func (s *Scheduler) publish() {
+	st := s.statusLocked()
+	byID := make(map[job.ID]JobInfo, len(st.Waiting)+len(st.Running))
+	for _, ji := range st.Waiting {
+		byID[ji.ID] = ji
+	}
+	for _, ji := range st.Running {
+		byID[ji.ID] = ji
+	}
 	s.snap.Store(&readSnapshot{
-		status: s.statusLocked(),
+		status: st,
 		report: s.reportLocked(),
 		done:   s.done[:len(s.done):len(s.done)],
+		byID:   byID,
 	})
 }
 
@@ -154,8 +178,9 @@ func New(capacity int, driver sim.Driver, startTime int64) (*Scheduler, error) {
 		return nil, fmt.Errorf("rms: nil driver")
 	}
 	s := &Scheduler{
-		driver: driver,
-		infos:  make(map[job.ID]*JobInfo),
+		driver:  driver,
+		infos:   make(map[job.ID]*JobInfo),
+		doneIdx: make(map[job.ID]int),
 	}
 	s.eng = engine.New(capacity, driver, startTime, engine.WithHooks(engine.Hooks{
 		Started:  s.onStarted,
@@ -187,6 +212,9 @@ func (s *Scheduler) onFinished(j *job.Job, st engine.FinishState, now int64) {
 		info.State = StateFailed
 	}
 	info.Finished = now
+	s.doneMu.Lock()
+	s.doneIdx[j.ID] = len(s.done)
+	s.doneMu.Unlock()
 	s.done = append(s.done, *info)
 	s.agg.add(*info)
 }
@@ -229,6 +257,25 @@ func (s *Scheduler) AddObserver(o engine.Observer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.eng.AddObserver(o)
+	if so, ok := o.(StatefulObserver); ok {
+		s.stateful = append(s.stateful, so)
+	}
+}
+
+// StatefulObserver is an optional engine.Observer extension: observers
+// with state worth surviving a restart (the event trace ring) implement
+// it so journal checkpoints capture that state and a restored scheduler
+// reinstalls it. States are matched by key, leniently: a checkpoint
+// entry with no attached observer of that key is skipped, so observer
+// wiring can change between runs without invalidating old checkpoints.
+type StatefulObserver interface {
+	engine.Observer
+	// StateKey identifies the observer's state in a checkpoint.
+	StateKey() string
+	// SaveState serialises the observer's state.
+	SaveState() ([]byte, error)
+	// RestoreState installs a previously saved state.
+	RestoreState(data []byte) error
 }
 
 // SetJournal attaches a write-ahead journal: every subsequent external
@@ -252,7 +299,26 @@ func (s *Scheduler) SetJournal(j *Journal) error {
 		}
 	}
 	s.journal = j
+	s.jp.Store(j)
 	return nil
+}
+
+// JournalErr reports the attached journal's sticky failure, if any,
+// without taking the scheduling lock. A scheduler whose journal has
+// failed still serves reads but refuses every mutation, and the
+// daemon's readiness check turns not-ready.
+func (s *Scheduler) JournalErr() error {
+	if j := s.jp.Load(); j != nil {
+		return j.Err()
+	}
+	return nil
+}
+
+// QueueDepth returns the number of waiting jobs as of the last
+// completed mutation, without taking the scheduling lock. The daemon's
+// readiness watermark reads it on every health probe.
+func (s *Scheduler) QueueDepth() int {
+	return len(s.snap.Load().status.Waiting)
 }
 
 // journalAppend records an external event ahead of applying it. On a
@@ -269,11 +335,11 @@ func (s *Scheduler) journalAppend(ev Event) error {
 	return nil
 }
 
-// journalCheckpoint lets the journal cut a periodic snapshot of the
-// post-event state. Callers hold the lock.
+// journalCheckpoint lets the journal cut a periodic checkpoint of the
+// post-event state and rotate its segment. Callers hold the lock.
 func (s *Scheduler) journalCheckpoint() {
 	if s.journal != nil {
-		s.journal.maybeSnapshot(s)
+		s.journal.maybeCheckpoint(s)
 	}
 }
 
@@ -578,11 +644,22 @@ func (s *Scheduler) statusLocked() Status {
 	return st
 }
 
-// Job returns the status of a single job (including finished ones). It
-// reads the live state under the scheduling lock — the info map covers
-// the scheduler's whole history, so the snapshot read model deliberately
-// excludes it rather than copy an unbounded map on every mutation.
+// Job returns the status of a single job (including finished ones). The
+// common cases — a live job or a finished one — are answered from the
+// published read snapshot without the scheduling lock, so single-job
+// pollers cannot be starved by a long replan. Only the race window
+// between a job finishing and the next publish falls back to the lock.
 func (s *Scheduler) Job(id job.ID) (JobInfo, error) {
+	snap := s.snap.Load()
+	if info, ok := snap.byID[id]; ok {
+		return info, nil
+	}
+	s.doneMu.RLock()
+	idx, ok := s.doneIdx[id]
+	s.doneMu.RUnlock()
+	if ok && idx < len(snap.done) {
+		return snap.done[idx], nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if info, ok := s.infos[id]; ok {

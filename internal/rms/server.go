@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynp/internal/job"
@@ -31,12 +32,27 @@ import (
 //	{"op":"restore","procs":8}  return failed processors to service
 //	{"op":"trace","n":50}       the last n engine transitions (needs -trace)
 //	{"op":"metrics"}            lifetime engine metrics (needs -trace)
+//	{"op":"deliver","to":50,"completions":[7],"subs":[{"width":2,"estimate":60}]}
+//	                            atomic event batch (virtual mode)
+//	{"op":"health"}             liveness + readiness detail, always served
+//	{"op":"ready"}              ok iff the server is ready to take load
 //
-// Responses carry {"ok":true,...} or {"ok":false,"error":"..."}.
+// Responses carry {"ok":true,...} or {"ok":false,"error":"..."}. A
+// response with "busy":true was shed by overload protection, not
+// rejected on its merits: the request is safe to retry after backoff.
+//
+// Overload policy. MaxConns bounds the connections served at full
+// service. The next MaxConns connections are still accepted but
+// degraded: reads — which every client can get from a retry later, and
+// which the scheduler answers from lock-free snapshots anyway — are
+// shed with busy responses, while mutating ops (submit, done, deliver)
+// execute normally, so a flood of status pollers can never starve the
+// operations that lose work when starved. Beyond that the connection is
+// answered with one busy response and closed.
 type Server struct {
 	sched *Scheduler
-	// AllowTick enables the "tick" op; a real-time daemon drives the
-	// clock itself and rejects client ticks.
+	// AllowTick enables the "tick" and "deliver" ops; a real-time daemon
+	// drives the clock itself and rejects client clock movement.
 	AllowTick bool
 	// Trace backs the "trace" and "metrics" ops; both report an error
 	// when it is nil. Attach the same EventTrace to the scheduler with
@@ -45,6 +61,18 @@ type Server struct {
 	// IdleTimeout bounds how long a connection may sit between requests
 	// before the server drops it (0 = no limit). Set it before Listen.
 	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write (0 = no limit); a client
+	// that stops draining its socket cannot pin a handler forever.
+	WriteTimeout time.Duration
+	// MaxConns bounds full-service connections (0 = unlimited); see the
+	// overload policy above. Set before Listen.
+	MaxConns int
+	// ReadyMaxQueue is the readiness watermark: with more than this many
+	// jobs waiting the server reports not-ready (0 = no watermark), so
+	// load balancers and submit scripts steer work elsewhere first.
+	ReadyMaxQueue int
+
+	ready atomic.Bool
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -53,20 +81,66 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// NewServer wraps a scheduler.
+// NewServer wraps a scheduler. The server starts ready; a daemon that
+// must replay a journal first calls SetReady(false) before Listen and
+// SetReady(true) when replay completes, keeping health checks
+// responsive throughout.
 func NewServer(s *Scheduler, allowTick bool) *Server {
-	return &Server{sched: s, AllowTick: allowTick}
+	sv := &Server{sched: s, AllowTick: allowTick}
+	sv.ready.Store(true)
+	return sv
+}
+
+// SetReady flips the readiness gate. While not ready, every op except
+// "health" and "ready" is rejected.
+func (sv *Server) SetReady(ok bool) { sv.ready.Store(ok) }
+
+// HealthInfo is the payload of the "health" and "ready" ops.
+type HealthInfo struct {
+	Ready      bool   `json:"ready"`
+	Reason     string `json:"reason,omitempty"` // why not ready
+	QueueDepth int    `json:"queue_depth"`
+	Conns      int    `json:"conns"` // connections currently served
+	JournalErr string `json:"journal_err,omitempty"`
+}
+
+// healthInfo computes the current health verdict. Ready means: the
+// replay gate is open, the journal (if any) has not failed, and the
+// waiting queue is under the watermark.
+func (sv *Server) healthInfo() HealthInfo {
+	sv.mu.Lock()
+	conns := len(sv.conns)
+	sv.mu.Unlock()
+	h := HealthInfo{Ready: true, QueueDepth: sv.sched.QueueDepth(), Conns: conns}
+	if !sv.ready.Load() {
+		h.Ready = false
+		h.Reason = "starting: journal replay in progress"
+	}
+	if err := sv.sched.JournalErr(); err != nil {
+		h.JournalErr = err.Error()
+		if h.Ready {
+			h.Ready = false
+			h.Reason = "journal failed: " + err.Error()
+		}
+	}
+	if h.Ready && sv.ReadyMaxQueue > 0 && h.QueueDepth > sv.ReadyMaxQueue {
+		h.Ready = false
+		h.Reason = fmt.Sprintf("queue depth %d over watermark %d", h.QueueDepth, sv.ReadyMaxQueue)
+	}
+	return h
 }
 
 // Request is one protocol request.
 type Request struct {
-	Op       string `json:"op"`
-	Width    int    `json:"width,omitempty"`
-	Estimate int64  `json:"estimate,omitempty"`
-	ID       int64  `json:"id,omitempty"`
-	To       int64  `json:"to,omitempty"`
-	Procs    int    `json:"procs,omitempty"`
-	N        int    `json:"n,omitempty"` // trace: how many recent events (0 = all buffered)
+	Op          string       `json:"op"`
+	Width       int          `json:"width,omitempty"`
+	Estimate    int64        `json:"estimate,omitempty"`
+	ID          int64        `json:"id,omitempty"`
+	To          int64        `json:"to,omitempty"`
+	Procs       int          `json:"procs,omitempty"`
+	N           int          `json:"n,omitempty"`           // trace: how many recent events (0 = all buffered)
+	Completions []int64      `json:"completions,omitempty"` // deliver
+	Subs        []Submission `json:"subs,omitempty"`        // deliver
 }
 
 // Response is one protocol response. Now is always present — "now":0 at
@@ -74,18 +148,60 @@ type Request struct {
 type Response struct {
 	OK       bool           `json:"ok"`
 	Error    string         `json:"error,omitempty"`
+	Busy     bool           `json:"busy,omitempty"` // shed by overload protection; retry later
 	Job      *JobInfo       `json:"job,omitempty"`
+	Jobs     []JobInfo      `json:"jobs,omitempty"` // deliver: the batch's submissions
 	Status   *Status        `json:"status,omitempty"`
 	Finished []JobInfo      `json:"finished,omitempty"`
 	Report   *Report        `json:"report,omitempty"`
 	Trace    []TraceEvent   `json:"trace,omitempty"`
 	Metrics  *EngineMetrics `json:"metrics,omitempty"`
+	Health   *HealthInfo    `json:"health,omitempty"`
 	Now      int64          `json:"now"`
 }
 
-// Handle executes one request against the scheduler.
+// readOnlyOps are the ops a degraded connection sheds: all answered
+// from the scheduler's read snapshots, all safe to retry elsewhere.
+var readOnlyOps = map[string]bool{
+	"job": true, "status": true, "finished": true,
+	"report": true, "trace": true, "metrics": true,
+}
+
+// Handle executes one request against the scheduler at full service.
 func (sv *Server) Handle(req Request) Response {
+	return sv.handle(req, false)
+}
+
+// handle executes one request. On a degraded connection (over the
+// connection cap) read ops are shed with a busy response; mutating ops
+// always run — losing a completion or a submission loses real work,
+// losing a status read loses nothing.
+func (sv *Server) handle(req Request, degraded bool) Response {
 	fail := func(err error) Response { return Response{Error: err.Error(), Now: sv.sched.Now()} }
+	// Health ops are served unconditionally — before the readiness gate,
+	// on degraded connections — so probes keep working exactly when
+	// things go wrong.
+	switch req.Op {
+	case "health":
+		h := sv.healthInfo()
+		return Response{OK: true, Health: &h, Now: sv.sched.Now()}
+	case "ready":
+		h := sv.healthInfo()
+		if !h.Ready {
+			return Response{Error: "rms: not ready: " + h.Reason, Health: &h, Now: sv.sched.Now()}
+		}
+		return Response{OK: true, Health: &h, Now: sv.sched.Now()}
+	}
+	if !sv.ready.Load() {
+		return fail(fmt.Errorf("rms: server starting (journal replay in progress)"))
+	}
+	if degraded && readOnlyOps[req.Op] {
+		return Response{
+			Busy:  true,
+			Error: "rms: server busy: read shed under overload (retry)",
+			Now:   sv.sched.Now(),
+		}
+	}
 	switch req.Op {
 	case "submit":
 		info, err := sv.sched.Submit(req.Width, req.Estimate)
@@ -126,6 +242,19 @@ func (sv *Server) Handle(req Request) Response {
 			return fail(err)
 		}
 		return Response{OK: true, Now: sv.sched.Now()}
+	case "deliver":
+		if !sv.AllowTick {
+			return fail(fmt.Errorf("rms: deliver disabled (real-time mode)"))
+		}
+		ids := make([]job.ID, len(req.Completions))
+		for i, id := range req.Completions {
+			ids[i] = job.ID(id)
+		}
+		jobs, err := sv.sched.Deliver(req.To, ids, req.Subs)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Jobs: jobs, Now: sv.sched.Now()}
 	case "fail":
 		if err := sv.sched.Fail(req.Procs); err != nil {
 			return fail(err)
@@ -161,18 +290,35 @@ type readDeadliner interface {
 	SetReadDeadline(time.Time) error
 }
 
+// writeDeadliner is the subset of net.Conn the server needs to bound
+// response writes against clients that stop draining their sockets.
+type writeDeadliner interface {
+	SetWriteDeadline(time.Time) error
+}
+
 // ServeConn speaks the protocol on one connection until EOF, the idle
 // timeout, or a server drain. An oversized request line (beyond the
 // 64 KiB protocol limit) is answered with an explicit error response
 // before the connection closes, instead of dying silently.
 func (sv *Server) ServeConn(conn io.ReadWriter) error {
+	return sv.serveConn(conn, false)
+}
+
+func (sv *Server) serveConn(conn io.ReadWriter, degraded bool) error {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<16)
 	enc := json.NewEncoder(conn)
-	dl, hasDeadline := conn.(readDeadliner)
+	rdl, hasRead := conn.(readDeadliner)
+	wdl, hasWrite := conn.(writeDeadliner)
+	write := func(resp Response) error {
+		if hasWrite && sv.WriteTimeout > 0 {
+			_ = wdl.SetWriteDeadline(time.Now().Add(sv.WriteTimeout))
+		}
+		return enc.Encode(resp)
+	}
 	for {
-		if hasDeadline && sv.IdleTimeout > 0 {
-			_ = dl.SetReadDeadline(time.Now().Add(sv.IdleTimeout))
+		if hasRead && sv.IdleTimeout > 0 {
+			_ = rdl.SetReadDeadline(time.Now().Add(sv.IdleTimeout))
 		}
 		if !sc.Scan() {
 			break
@@ -186,9 +332,9 @@ func (sv *Server) ServeConn(conn io.ReadWriter) error {
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp = Response{Error: fmt.Sprintf("rms: bad request: %v", err), Now: sv.sched.Now()}
 		} else {
-			resp = sv.Handle(req)
+			resp = sv.handle(req, degraded)
 		}
-		if err := enc.Encode(resp); err != nil {
+		if err := write(resp); err != nil {
 			return err
 		}
 		if sv.isDraining() {
@@ -199,7 +345,7 @@ func (sv *Server) ServeConn(conn io.ReadWriter) error {
 	}
 	if err := sc.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {
-			_ = enc.Encode(Response{
+			_ = write(Response{
 				Error: "rms: request exceeds the 64 KiB line limit",
 				Now:   sv.sched.Now(),
 			})
@@ -242,6 +388,17 @@ func (sv *Server) Listen(addr string) (net.Addr, error) {
 				conn.Close()
 				continue
 			}
+			n := len(sv.conns)
+			degraded := false
+			if sv.MaxConns > 0 {
+				if n >= 2*sv.MaxConns {
+					// Hard cap: one busy response, then the door.
+					sv.mu.Unlock()
+					sv.rejectBusy(conn)
+					continue
+				}
+				degraded = n >= sv.MaxConns
+			}
 			sv.conns[conn] = struct{}{}
 			sv.mu.Unlock()
 			sv.wg.Add(1)
@@ -253,11 +410,32 @@ func (sv *Server) Listen(addr string) (net.Addr, error) {
 					sv.mu.Unlock()
 					conn.Close()
 				}()
-				_ = sv.ServeConn(conn)
+				_ = sv.serveConn(conn, degraded)
 			}()
 		}
 	}()
 	return l.Addr(), nil
+}
+
+// rejectBusy answers a connection beyond the hard cap with a single
+// busy response and closes it, under a bounded write deadline so a
+// hostile peer cannot stall the accept loop's goroutine collection.
+func (sv *Server) rejectBusy(conn net.Conn) {
+	sv.wg.Add(1)
+	go func() {
+		defer sv.wg.Done()
+		defer conn.Close()
+		timeout := sv.WriteTimeout
+		if timeout <= 0 {
+			timeout = 2 * time.Second
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(timeout))
+		_ = json.NewEncoder(conn).Encode(Response{
+			Busy:  true,
+			Error: "rms: server busy: connection limit reached (retry)",
+			Now:   sv.sched.Now(),
+		})
+	}()
 }
 
 // Close stops the listener and drains gracefully: requests already in

@@ -1,6 +1,7 @@
 package rms
 
 import (
+	"encoding/json"
 	"sync"
 
 	"dynp/internal/engine"
@@ -120,6 +121,79 @@ func (t *EventTrace) Last(n int) []TraceEvent {
 		out = append(out, t.buf[(t.start+i)%len(t.buf)])
 	}
 	return out
+}
+
+// traceState is the EventTrace's checkpoint serialisation.
+type traceState struct {
+	Seq         uint64           `json:"seq"`
+	Dropped     uint64           `json:"dropped"`
+	Buf         []TraceEvent     `json:"buf,omitempty"` // chronological
+	Events      map[string]int64 `json:"events,omitempty"`
+	Cases       map[string]int64 `json:"cases,omitempty"`
+	Plans       int64            `json:"plans"`
+	PlanNsTotal int64            `json:"plan_ns_total"`
+	PlanNsMax   int64            `json:"plan_ns_max"`
+}
+
+// StateKey implements StatefulObserver.
+func (t *EventTrace) StateKey() string { return "trace" }
+
+// SaveState implements StatefulObserver: the buffered events and the
+// lifetime aggregates ride along in journal checkpoints, so "trace" and
+// "metrics" survive a daemon restart.
+func (t *EventTrace) SaveState() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := traceState{
+		Seq:         t.seq,
+		Dropped:     t.dropped,
+		Plans:       t.plans,
+		PlanNsTotal: t.planNsTotal,
+		PlanNsMax:   t.planNsMax,
+	}
+	for i := 0; i < t.n; i++ {
+		st.Buf = append(st.Buf, t.buf[(t.start+i)%len(t.buf)])
+	}
+	if len(t.events) > 0 {
+		st.Events = t.events
+	}
+	if len(t.cases) > 0 {
+		st.Cases = t.cases
+	}
+	return json.Marshal(&st)
+}
+
+// RestoreState implements StatefulObserver. A restored trace with a
+// smaller ring than the saved one keeps the newest events and counts
+// the rest as dropped.
+func (t *EventTrace) RestoreState(data []byte) error {
+	var st traceState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq = st.Seq
+	t.dropped = st.Dropped
+	t.plans = st.Plans
+	t.planNsTotal = st.PlanNsTotal
+	t.planNsMax = st.PlanNsMax
+	t.events = make(map[string]int64, len(st.Events))
+	for k, v := range st.Events {
+		t.events[k] = v
+	}
+	t.cases = make(map[string]int64, len(st.Cases))
+	for k, v := range st.Cases {
+		t.cases[k] = v
+	}
+	t.start, t.n = 0, 0
+	keep := st.Buf
+	if len(keep) > len(t.buf) {
+		t.dropped += uint64(len(keep) - len(t.buf))
+		keep = keep[len(keep)-len(t.buf):]
+	}
+	t.n = copy(t.buf, keep)
+	return nil
 }
 
 // Metrics returns the lifetime aggregates.

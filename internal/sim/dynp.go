@@ -58,6 +58,14 @@ func (d *DynP) NoteSubmit(j *job.Job) { d.Tuner.NoteSubmit(j) }
 // NoteRemove implements engine.QueueTracker.
 func (d *DynP) NoteRemove(j *job.Job) { d.Tuner.NoteRemove(j) }
 
+// SaveState implements engine.StatefulDriver: the tuner's active policy,
+// statistics and decision trace go into journal checkpoints so a
+// restored scheduler keeps tuning from where it stopped.
+func (d *DynP) SaveState() ([]byte, error) { return d.Tuner.MarshalState() }
+
+// RestoreState implements engine.StatefulDriver.
+func (d *DynP) RestoreState(data []byte) error { return d.Tuner.UnmarshalState(data) }
+
 // Stats exposes the tuner's decision statistics.
 func (d *DynP) Stats() core.Stats { return d.Tuner.Stats() }
 

@@ -1,0 +1,182 @@
+// Deterministic disk fault injection. Faulty wraps an FS and makes its
+// files misbehave on a schedule derived from a seed, the way the chaos
+// package's Dialer makes network connections misbehave: the fault
+// schedule of the k-th file opened through a Faulty depends only on
+// (seed, k), so a failing run reproduces exactly.
+//
+// Fault model (probabilities are per decision point):
+//
+//   - WriteFail: the write persists nothing and reports an error — a
+//     full device-level rejection. Nothing acknowledged is lost.
+//   - ShortWrite: only a random prefix of the buffer reaches the file
+//     and the call reports the short count — a torn write. The caller
+//     sees the failure (bufio turns it into io.ErrShortWrite), so
+//     nothing acknowledged is lost, but the file now ends in a torn
+//     record, exactly like a crash mid-append.
+//   - BitFlip: the write persists with one bit flipped and reports
+//     success — silent media corruption of acknowledged data. Recovery
+//     must detect it (checksums) and fall back or refuse; it cannot
+//     restore the lost bytes, so soaks asserting "no acked event lost"
+//     must leave BitFlip at zero.
+//   - SyncFail: Sync reports failure without flushing — a dying disk's
+//     fsync. The journal must treat this as fatal (sticky).
+//   - RenameFail: Rename reports failure and does nothing — faults the
+//     journal's segment rotation.
+package vfs
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dynp/internal/rng"
+)
+
+// FaultConfig bounds the injected disk faults.
+type FaultConfig struct {
+	Seed       uint64  // seed for the derived fault schedules
+	WriteFail  float64 // probability a write fails outright, persisting nothing
+	ShortWrite float64 // probability a write tears: a random prefix persists, short count returned
+	BitFlip    float64 // probability a write persists with one bit silently flipped
+	SyncFail   float64 // probability a Sync reports failure without flushing
+	RenameFail float64 // probability a Rename fails without renaming
+}
+
+// Faulty wraps an FS with deterministic fault injection. Safe for
+// concurrent use.
+type Faulty struct {
+	fs  FS
+	cfg FaultConfig
+	ops *rng.Stream // schedule for FS-level ops (rename)
+
+	mu    sync.Mutex
+	base  *rng.Stream
+	opens uint64 // files handed out so far
+}
+
+// NewFaulty wraps fs with faults drawn from cfg. All randomness derives
+// from cfg.Seed.
+func NewFaulty(fs FS, cfg FaultConfig) *Faulty {
+	base := rng.New(cfg.Seed)
+	return &Faulty{fs: fs, cfg: cfg, base: base, ops: base.Derive(0xd15c, 0xf5)}
+}
+
+// OpenFile opens the next file. Its fault schedule depends only on the
+// Faulty's seed and the open's sequence number.
+func (v *Faulty) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	v.mu.Lock()
+	k := v.opens
+	v.opens++
+	v.mu.Unlock()
+	f, err := v.fs.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{File: f, cfg: v.cfg, r: v.base.Derive(0xd15c, k)}, nil
+}
+
+// Rename forwards to the wrapped FS unless the schedule says the rename
+// fails.
+func (v *Faulty) Rename(oldpath, newpath string) error {
+	v.mu.Lock()
+	fail := v.cfg.RenameFail > 0 && v.ops.Float64() < v.cfg.RenameFail
+	v.mu.Unlock()
+	if fail {
+		return fmt.Errorf("vfs: injected rename failure: %s", oldpath)
+	}
+	return v.fs.Rename(oldpath, newpath)
+}
+
+func (v *Faulty) Remove(name string) error { return v.fs.Remove(name) }
+func (v *Faulty) ReadDir(name string) ([]os.DirEntry, error) {
+	return v.fs.ReadDir(name)
+}
+
+// faultyFile injects faults on Write and Sync. Reads, seeks and
+// truncates pass through untouched: recovery must see exactly what the
+// faulted writes left on disk.
+type faultyFile struct {
+	File
+	cfg FaultConfig
+
+	mu sync.Mutex
+	r  *rng.Stream
+}
+
+func (f *faultyFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cfg.WriteFail > 0 && f.r.Float64() < f.cfg.WriteFail {
+		return 0, fmt.Errorf("vfs: injected write failure: %s", f.Name())
+	}
+	if f.cfg.ShortWrite > 0 && len(p) > 1 && f.r.Float64() < f.cfg.ShortWrite {
+		n := 1 + f.r.Intn(len(p)-1)
+		m, err := f.File.Write(p[:n])
+		if err != nil {
+			return m, err
+		}
+		return m, nil // short count, no error: bufio reports io.ErrShortWrite
+	}
+	if f.cfg.BitFlip > 0 && len(p) > 0 && f.r.Float64() < f.cfg.BitFlip {
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[f.r.Intn(len(q))] ^= 1 << uint(f.r.Intn(8))
+		return f.File.Write(q)
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultyFile) Sync() error {
+	f.mu.Lock()
+	fail := f.cfg.SyncFail > 0 && f.r.Float64() < f.cfg.SyncFail
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("vfs: injected sync failure: %s", f.Name())
+	}
+	return f.File.Sync()
+}
+
+// ParseFaultConfig parses a comma-separated key=value fault spec, e.g.
+// "seed=7,writefail=0.01,short=0.02,bitflip=0,syncfail=0.005,rename=0".
+// An empty spec is the zero config (no faults).
+func ParseFaultConfig(spec string) (FaultConfig, error) {
+	var cfg FaultConfig
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return cfg, fmt.Errorf("vfs: fault spec %q: want key=value", kv)
+		}
+		if k == "seed" {
+			seed, err := strconv.ParseUint(v, 0, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("vfs: fault spec seed: %v", err)
+			}
+			cfg.Seed = seed
+			continue
+		}
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || p < 0 || p > 1 {
+			return cfg, fmt.Errorf("vfs: fault spec %q: want probability in [0,1]", kv)
+		}
+		switch k {
+		case "writefail":
+			cfg.WriteFail = p
+		case "short":
+			cfg.ShortWrite = p
+		case "bitflip":
+			cfg.BitFlip = p
+		case "syncfail":
+			cfg.SyncFail = p
+		case "rename":
+			cfg.RenameFail = p
+		default:
+			return cfg, fmt.Errorf("vfs: fault spec: unknown key %q", k)
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,172 @@
+package vfs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeAll appends chunks through fs to path and returns per-chunk
+// errors plus the final file contents.
+func writeAll(t *testing.T, fs FS, path string, chunks [][]byte) ([]error, []byte) {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs []error
+	for _, c := range chunks {
+		n, err := f.Write(c)
+		if err == nil && n < len(c) {
+			err = os.ErrInvalid // stand-in for io.ErrShortWrite, value irrelevant
+		}
+		errs = append(errs, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return errs, got
+}
+
+// TestFaultyDeterminism: the same seed must yield byte-identical fault
+// schedules — same errors, same file contents — across independent
+// Faulty instances, and a different seed must diverge.
+func TestFaultyDeterminism(t *testing.T) {
+	chunks := make([][]byte, 64)
+	for i := range chunks {
+		chunks[i] = bytes.Repeat([]byte{byte(i)}, 32)
+	}
+	cfg := FaultConfig{Seed: 42, WriteFail: 0.2, ShortWrite: 0.2, BitFlip: 0.2, SyncFail: 0.2}
+	run := func(seed uint64) (string, []byte) {
+		c := cfg
+		c.Seed = seed
+		dir := t.TempDir()
+		errs, data := writeAll(t, NewFaulty(OS, c), filepath.Join(dir, "f"), chunks)
+		var sig strings.Builder
+		for _, e := range errs {
+			if e != nil {
+				// Strip the per-run temp path; keep the fault kind.
+				msg, _, _ := strings.Cut(e.Error(), ": /")
+				sig.WriteString(msg)
+			}
+			sig.WriteByte(';')
+		}
+		return sig.String(), data
+	}
+	sig1, data1 := run(42)
+	sig2, data2 := run(42)
+	sig3, data3 := run(43)
+	if sig1 != sig2 || !bytes.Equal(data1, data2) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	if sig1 == sig3 && bytes.Equal(data1, data3) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+	if !strings.Contains(sig1, "injected write failure") {
+		t.Fatal("no write failure injected at p=0.2 over 64 writes")
+	}
+}
+
+// TestFaultyShortWrite: a torn write persists a strict prefix and
+// reports a short count, never inventing or reordering bytes.
+func TestFaultyShortWrite(t *testing.T) {
+	fs := NewFaulty(OS, FaultConfig{Seed: 7, ShortWrite: 1})
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	n, err := f.Write(payload)
+	if err != nil {
+		t.Fatalf("short write must report a count, not an error: %v", err)
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("short write persisted %d of %d bytes", n, len(payload))
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if !bytes.Equal(got, payload[:n]) {
+		t.Fatalf("torn write persisted %q, want prefix %q", got, payload[:n])
+	}
+}
+
+// TestFaultyBitFlip: a flipped write persists the same length with
+// exactly one bit changed and reports success.
+func TestFaultyBitFlip(t *testing.T) {
+	fs := NewFaulty(OS, FaultConfig{Seed: 7, BitFlip: 1})
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	if n, err := f.Write(payload); err != nil || n != len(payload) {
+		t.Fatalf("bit-flip write must report success: n=%d err=%v", n, err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if len(got) != len(payload) {
+		t.Fatalf("bit flip changed length: %d vs %d", len(got), len(payload))
+	}
+	diff := 0
+	for i := range got {
+		for b := got[i] ^ payload[i]; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit flip changed %d bits, want exactly 1", diff)
+	}
+}
+
+// TestFaultySyncAndRename: injected sync and rename failures surface as
+// errors and leave the filesystem untouched.
+func TestFaultySyncAndRename(t *testing.T) {
+	fs := NewFaulty(OS, FaultConfig{Seed: 7, SyncFail: 1, RenameFail: 1})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync did not fail at p=1")
+	}
+	f.Close()
+	if err := fs.Rename(path, path+".1"); err == nil {
+		t.Fatal("rename did not fail at p=1")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("failed rename moved the file: %v", err)
+	}
+}
+
+// TestParseFaultConfig round-trips a spec and rejects malformed ones.
+func TestParseFaultConfig(t *testing.T) {
+	cfg, err := ParseFaultConfig("seed=9,writefail=0.1,short=0.2,bitflip=0.3,syncfail=0.4,rename=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultConfig{Seed: 9, WriteFail: 0.1, ShortWrite: 0.2, BitFlip: 0.3, SyncFail: 0.4, RenameFail: 0.5}
+	if cfg != want {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	if c, err := ParseFaultConfig(""); err != nil || c != (FaultConfig{}) {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+	for _, bad := range []string{"writefail", "writefail=2", "bogus=0.1", "seed=x"} {
+		if _, err := ParseFaultConfig(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package vfs abstracts the few filesystem operations the journal
+// needs — open, rename, remove, list — behind an interface so tests can
+// inject disk faults underneath it. The production implementation (OS)
+// is a thin veneer over the os package; Faulty (faulty.go) wraps any FS
+// with deterministic, seeded write/sync faults mirroring the chaos
+// package's network dialer.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the journal uses. Implementations must
+// support interleaved reads and writes through a shared file offset,
+// exactly like an *os.File opened O_RDWR.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Truncate changes the size of the file.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface the journal runs on.
+type FS interface {
+	// OpenFile is os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename is os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove.
+	Remove(name string) error
+	// ReadDir is os.ReadDir.
+	ReadDir(name string) ([]os.DirEntry, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) {
+	return os.ReadDir(name)
+}

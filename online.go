@@ -5,6 +5,7 @@ import (
 
 	"dynp/internal/gantt"
 	"dynp/internal/rms"
+	"dynp/internal/vfs"
 )
 
 // Online RMS re-exports: the dynP scheduler embedded in a live,
@@ -44,6 +45,21 @@ type (
 	// OnlineEngineMetrics aggregates the engine's event stream over the
 	// scheduler's lifetime.
 	OnlineEngineMetrics = rms.EngineMetrics
+	// OnlineHealthInfo is the server's health/readiness verdict: liveness
+	// plus why (or whether) the daemon is ready for traffic.
+	OnlineHealthInfo = rms.HealthInfo
+	// OnlineServerError is a typed server-side rejection; its Busy flag
+	// marks overload shedding, which is retryable.
+	OnlineServerError = rms.ServerError
+	// OnlineStatefulObserver is an engine observer whose state rides
+	// along in journal checkpoints, surviving daemon restarts.
+	OnlineStatefulObserver = rms.StatefulObserver
+	// JournalFS abstracts the filesystem under a journal — swap in a
+	// fault-injecting implementation to test crash recovery.
+	JournalFS = vfs.FS
+	// JournalFaultConfig configures seeded disk-fault injection (torn
+	// writes, bit flips, failed syncs) for recovery testing.
+	JournalFaultConfig = vfs.FaultConfig
 	// GanttChart is a processor-time occupancy chart of a completed
 	// run.
 	GanttChart = gantt.Chart
@@ -78,10 +94,26 @@ var (
 	VictimWidestFirst VictimPolicy = rms.VictimWidestFirst
 )
 
-// OpenOnlineJournal opens (or creates) a write-ahead journal file,
-// recovering the longest valid prefix after a crash. Replay it into a
-// fresh scheduler, then attach it with SetJournal.
+// OpenOnlineJournal opens (or creates) a write-ahead journal, repairing
+// a torn tail after a crash. Replay it into a fresh scheduler (restoring
+// from the newest valid checkpoint), then attach it with SetJournal.
 func OpenOnlineJournal(path string) (*OnlineJournal, error) { return rms.OpenJournal(path) }
+
+// OpenOnlineJournalFS is OpenOnlineJournal on an explicit filesystem —
+// pass a fault-injecting JournalFS to test crash recovery.
+func OpenOnlineJournalFS(fsys JournalFS, path string) (*OnlineJournal, error) {
+	return rms.OpenJournalFS(fsys, path)
+}
+
+// NewFaultyJournalFS wraps the real filesystem in seeded disk-fault
+// injection for recovery testing.
+func NewFaultyJournalFS(cfg JournalFaultConfig) JournalFS { return vfs.NewFaulty(vfs.OS, cfg) }
+
+// ParseJournalFaultConfig parses a disk-fault spec like
+// "seed=7,writefail=0.01,short=0.02,bitflip=0,syncfail=0.005,rename=0".
+func ParseJournalFaultConfig(spec string) (JournalFaultConfig, error) {
+	return vfs.ParseFaultConfig(spec)
+}
 
 // NewOnlineScheduler returns an online RMS core for a machine with the
 // given capacity using the given scheduler, with the clock at startTime.

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test race soak soak-disk bench bench-smoke bench-tuner bench-plan bench-plan-check bench-sim bench-sim-check bench-scale bench-scale-check bench-recover bench-recover-check fuzz repro repro-full ablations golden golden-check golden-check-full clean
+.PHONY: all ci build vet fmt-check test race soak soak-disk bench bench-smoke bench-tuner bench-plan bench-plan-check bench-sim bench-sim-check bench-scale bench-scale-check bench-recover bench-recover-check fuzz repro repro-full ablations golden golden-check golden-check-registered golden-check-full clean
 
 all: build vet test
 
@@ -141,6 +141,14 @@ golden:
 # small — fails here. CI runs this on every push.
 golden-check:
 	$(GO) run ./cmd/paper > paper_output.check.txt
+	cmp paper_output.check.txt paper_output.txt
+	rm -f paper_output.check.txt
+
+# Like golden-check, but with a custom policy and decider registered (and
+# never selected): registration alone must not perturb a single byte of
+# the paper pipeline. CI runs this next to golden-check.
+golden-check-registered:
+	$(GO) run ./cmd/paper -register-inactive > paper_output.check.txt
 	cmp paper_output.check.txt paper_output.txt
 	rm -f paper_output.check.txt
 

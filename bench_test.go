@@ -214,7 +214,7 @@ func BenchmarkAblationPreferredPolicy(b *testing.B) {
 	}
 	set = set.Shrink(0.8)
 	for _, p := range []dynp.Policy{dynp.FCFS, dynp.SJF, dynp.LJF} {
-		b.Run(p.String()+"-preferred", func(b *testing.B) {
+		b.Run(p.Name()+"-preferred", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := dynp.Simulate(set, dynp.NewDynPScheduler(dynp.PreferredDecider(p)))
 				if err != nil {

@@ -16,6 +16,8 @@
 //	dynpctl restore -procs 8     # bring them back
 //	dynpctl health               # liveness: served even during replay
 //	dynpctl ready                # readiness: exit 0 ready, 3 not ready
+//	dynpctl policies             # scheduling policies the daemon knows
+//	dynpctl deciders             # decider mechanisms the daemon knows
 package main
 
 import (
@@ -166,6 +168,18 @@ func main() {
 			os.Exit(3)
 		}
 		fmt.Println("ready")
+	case "policies":
+		names, err := c.Policies()
+		fail(err)
+		for _, name := range names {
+			fmt.Println(name)
+		}
+	case "deciders":
+		names, err := c.Deciders()
+		fail(err)
+		for _, name := range names {
+			fmt.Println(name)
+		}
 	case "metrics":
 		m, err := c.Metrics()
 		fail(err)
@@ -194,7 +208,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dynpctl <submit|done|cancel|job|status|tick|finished|report|fail|restore|trace|metrics|health|ready> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dynpctl <submit|done|cancel|job|status|tick|finished|report|fail|restore|trace|metrics|health|ready|policies|deciders> [flags]")
 	os.Exit(2)
 }
 

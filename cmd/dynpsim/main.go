@@ -37,8 +37,21 @@ func main() {
 		cases     = flag.Bool("cases", false, "print the Table 1 case histogram of all decisions")
 		timelines = flag.Bool("timeline", false, "print queue-length and active-policy strips")
 		verify    = flag.Bool("verify", false, "re-verify every schedule (slow)")
+		list      = flag.Bool("list", false, "list the registered policies and deciders, then exit")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Println("policies:")
+		for _, name := range dynp.PolicyNames() {
+			fmt.Printf("  %s\n", name)
+		}
+		fmt.Println("deciders:")
+		for _, name := range dynp.DeciderNames() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
 
 	set, err := loadSet(*swfPath, *trace, *jobs, *seed)
 	fail(err)
@@ -88,7 +101,7 @@ func main() {
 		}
 		var shares []share
 		for p, d := range res.PolicyTime {
-			shares = append(shares, share{p.String(), float64(d) / float64(total)})
+			shares = append(shares, share{p.Name(), float64(d) / float64(total)})
 		}
 		sort.Slice(shares, func(i, j int) bool { return shares[i].frac > shares[j].frac })
 		for _, s := range shares {

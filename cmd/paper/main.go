@@ -46,13 +46,23 @@ func main() {
 		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		tunerW   = flag.Int("tuner-workers", 0,
 			"what-if planning workers inside each dynP tuner (0/1 = sequential; simulations already run in parallel)")
+		fairness = flag.Bool("fairness", false,
+			"run the fairness study: size-based (PSBS) scheduling under estimate overestimation")
+		overestimates = flag.String("overestimates", "1,2,5",
+			"comma-separated estimate scale factors for -fairness")
+		registerInactive = flag.Bool("register-inactive", false,
+			"register a custom policy and decider that stay unused (CI: output must be byte-identical)")
 		ascii = flag.Bool("ascii", false, "render figures as terminal plots instead of data series")
 		csv   = flag.Bool("csv", false, "render tables as CSV")
 		quiet = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
-	if *tables == "" && *figures == "" && *ablation == "" {
+	if *registerInactive {
+		fail(registerInactiveExtensions())
+	}
+
+	if *tables == "" && *figures == "" && *ablation == "" && !*fairness {
 		*tables, *figures = "all", "all"
 	}
 	if *full {
@@ -152,6 +162,64 @@ func main() {
 			render(dynp.ComparisonTable(study.Title(), res, shrinkVals, names), *csv)
 		}
 	}
+
+	if *fairness {
+		factors, err := parseFactors(*overestimates)
+		fail(err)
+		specs := dynp.FairnessSchedulers()
+		results := make([]*dynp.FairnessResult, 0, len(models))
+		for _, m := range models {
+			cfg := baseCfg(specs, "fairness study "+m.Name)
+			cfg.Model = m
+			cfg.Shrinks = nil // the fairness study sweeps estimate factors, not load
+			r, err := dynp.RunFairness(cfg, factors)
+			fail(err)
+			results = append(results, r)
+		}
+		names := make([]string, len(specs))
+		for i, s := range specs {
+			names[i] = s.Name
+		}
+		render(dynp.FairnessTable(results, factors, names), *csv)
+	}
+}
+
+// inactivePolicy and inactiveDecider exist only to be registered and
+// never used: CI runs the reduced paper pipeline with -register-inactive
+// and asserts byte-identical output, proving registration alone cannot
+// perturb scheduling.
+type inactivePolicy struct{}
+
+func (inactivePolicy) Name() string             { return "ci-inactive" }
+func (inactivePolicy) Less(a, b *dynp.Job) bool { return dynp.TieBreak(a, b) }
+
+type inactiveDecider struct{ inner dynp.Decider }
+
+func (d inactiveDecider) Name() string { return "ci-inactive" }
+func (d inactiveDecider) Decide(old dynp.Policy, candidates []dynp.Policy, values []float64) dynp.Policy {
+	return d.inner.Decide(old, candidates, values)
+}
+
+func registerInactiveExtensions() error {
+	if err := dynp.RegisterPolicy(inactivePolicy{}); err != nil {
+		return err
+	}
+	return dynp.RegisterDecider("ci-inactive", func() dynp.Decider {
+		return inactiveDecider{inner: dynp.AdvancedDecider()}
+	})
+}
+
+// parseFactors parses the -overestimates list (factors >= 1).
+func parseFactors(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || f < 1 || f > 100 {
+			return nil, fmt.Errorf("paper: invalid overestimation factor %q (want 1..100)", part)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 func printPaperOutputs(results []*dynp.ExperimentResult, wantTables, wantFigures map[int]bool,

@@ -58,14 +58,57 @@ type (
 	Stream = rng.Stream
 )
 
-// The scheduling policies.
-const (
+// The built-in scheduling policies. Each is a singleton: every registry
+// lookup of the name returns a value == the variable, so comparisons and
+// map keys behave exactly as the pre-registry enum did.
+var (
 	FCFS = policy.FCFS // first come, first serve
 	SJF  = policy.SJF  // shortest job first
 	LJF  = policy.LJF  // longest job first
 	SAF  = policy.SAF  // smallest area first (extension)
 	LAF  = policy.LAF  // largest area first (extension)
 )
+
+// RegisterPolicy adds a custom policy to the registry under its Name, so
+// string specs (experiment configs, CLI flags, journal checkpoints)
+// resolve to it. Implementations must be comparable value types and Less
+// must be a strict total order ending in the TieBreak fallback; see the
+// Policy interface contract. Registration alone never perturbs
+// scheduling — a registered-but-unused policy is never consulted.
+func RegisterPolicy(p Policy) error { return policy.Register(p) }
+
+// RegisterPolicyFamily adds a parameterized policy family: parse is
+// offered every looked-up spec that matches no exact registration and
+// reports whether it claims the spec. template is the display form shown
+// in listings, e.g. "PSBS(a=<alpha>,r=<robust>)".
+func RegisterPolicyFamily(template string, parse func(spec string) (Policy, bool, error)) error {
+	return policy.RegisterFamily(template, parse)
+}
+
+// ParsePolicy resolves a policy name or family spec ("SJF",
+// "PSBS(a=0.5,r=2)") through the registry. Unknown names return an error
+// listing what is registered.
+func ParsePolicy(name string) (Policy, error) { return policy.Lookup(name) }
+
+// PolicyNames lists every registered policy name plus the templates of
+// the registered families.
+func PolicyNames() []string { return policy.Names() }
+
+// TieBreak is the common final comparison every policy's Less must end
+// in: submission time, then job ID. It makes any key-based ordering
+// total.
+func TieBreak(a, b *Job) bool { return policy.TieBreak(a, b) }
+
+// NewFairSizePolicy returns the built-in PSBS-style fairness-aware
+// size-based policy: jobs order by quantizedEstimatedArea +
+// alpha*submitTime, where alpha (processors) controls fairness aging and
+// robust >= 1 buckets areas to powers of robust so runtime-estimate
+// error below that factor cannot reorder jobs. alpha = 0, robust = 1 is
+// pure smallest-area-first; large alpha degenerates to FCFS. Specs like
+// "PSBS(a=0.5,r=2)" resolve via ParsePolicy.
+func NewFairSizePolicy(alpha, robust float64) (Policy, error) {
+	return policy.NewFairSize(alpha, robust)
+}
 
 // NewStream returns a deterministic random stream for workload generation.
 func NewStream(seed uint64) *Stream { return rng.New(seed) }
@@ -125,9 +168,35 @@ func AdvancedDecider() Decider { return core.Advanced{} }
 // preferred policy (the paper evaluates SJF).
 func PreferredDecider(p Policy) Decider { return core.Preferred{Policy: p} }
 
-// NewDecider parses a decider name: "simple", "advanced" or
-// "<POLICY>-preferred".
+// NewDecider resolves a registered decider name: "simple", "advanced",
+// "<POLICY>-preferred" (e.g. "SJF-preferred") or any name added with
+// RegisterDecider.
 func NewDecider(name string) (Decider, error) { return core.NewDecider(name) }
+
+// StatefulDecider is a Decider whose internal state rides along in
+// journal checkpoints (see the online RMS): SaveState/RestoreState are
+// called by the self-tuner's checkpoint path, keyed by the decider's
+// Name.
+type StatefulDecider = core.StatefulDecider
+
+// RegisterDecider adds a decider constructor under a fixed name, so
+// string specs (CLI flags, daemon configs) resolve to it. The
+// constructor runs once per NewDecider call — every scheduler gets a
+// fresh instance, as stateful deciders require — and the constructed
+// decider's Name must equal the registered name.
+func RegisterDecider(name string, make func() Decider) error {
+	return core.RegisterDecider(name, make)
+}
+
+// RegisterDeciderFamily adds a parameterized decider family, mirroring
+// RegisterPolicyFamily.
+func RegisterDeciderFamily(template string, parse func(spec string) (Decider, bool, error)) error {
+	return core.RegisterDeciderFamily(template, parse)
+}
+
+// DeciderNames lists every registered decider name plus the templates of
+// the registered families.
+func DeciderNames() []string { return core.DeciderNames() }
 
 // DecisionCase classifies one self-tuning decision into the case labels of
 // the paper's Table 1 (see core.CaseOf for the partition used).

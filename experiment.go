@@ -1,6 +1,7 @@
 package dynp
 
 import (
+	"dynp/internal/adaptive"
 	"dynp/internal/experiment"
 	"dynp/internal/table"
 )
@@ -116,4 +117,57 @@ func DetailTable(results []*ExperimentResult, shrinks []float64) *Table {
 // factor (plus mean switch counts).
 func PolicySharesTable(results []*ExperimentResult, shrinks []float64, scheduler string) *Table {
 	return experiment.PolicyShares(results, shrinks, scheduler)
+}
+
+// FairnessResult is a completed fairness (estimate-robustness) study for
+// one trace.
+type FairnessResult = experiment.FairnessResult
+
+// NewAdaptiveDecider returns the observer-driven adaptive decider shell:
+// the advanced rule while calm, the unfair preferred rule toward fair
+// once the observed backlog has stayed at or above depth for patience
+// consecutive planning events (and back, with the same hysteresis). It
+// is stateful (its observed mode rides checkpoints) and is registered as
+// the decider family "adaptive(<POLICY>,depth=<n>,patience=<n>)".
+func NewAdaptiveDecider(fair Policy, depth, patience int) (Decider, error) {
+	return adaptive.New(fair, depth, patience)
+}
+
+// AdaptiveSpec returns the spec of a dynP scheduler driven by the
+// adaptive decider shell; the fairness policy is appended to the
+// candidate set when it is not already in it.
+func AdaptiveSpec(fair Policy, depth, patience int) SchedulerSpec {
+	return experiment.AdaptiveSpec(fair, depth, patience)
+}
+
+// FairnessSchedulers returns the scheduler set of the fairness study:
+// FCFS, SJF, two PSBS members, the paper's SJF-preferred dynP and the
+// adaptive shell.
+func FairnessSchedulers() []SchedulerSpec { return experiment.FairnessSchedulers() }
+
+// RunFairness executes the fairness study — the configured schedulers
+// over job sets whose estimates are scaled by each overestimation factor
+// — for one trace.
+func RunFairness(cfg ExperimentConfig, factors []float64) (*FairnessResult, error) {
+	return experiment.Fairness(cfg, factors)
+}
+
+// RunFairnessAll runs the fairness study over several traces.
+func RunFairnessAll(models []Model, cfg ExperimentConfig, factors []float64) ([]*FairnessResult, error) {
+	out := make([]*FairnessResult, 0, len(models))
+	for _, m := range models {
+		c := cfg
+		c.Model = m
+		r, err := experiment.Fairness(c, factors)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FairnessTable renders fairness-study results across traces.
+func FairnessTable(results []*FairnessResult, factors []float64, schedulers []string) *Table {
+	return experiment.FairnessTable(results, factors, schedulers)
 }

@@ -17,9 +17,7 @@
 package core
 
 import (
-	"fmt"
 	"math"
-	"strings"
 
 	"dynp/internal/policy"
 )
@@ -147,7 +145,7 @@ type Preferred struct {
 }
 
 // Name implements Decider.
-func (p Preferred) Name() string { return p.Policy.String() + "-preferred" }
+func (p Preferred) Name() string { return p.Policy.Name() + "-preferred" }
 
 // Decide implements Decider.
 func (p Preferred) Decide(old policy.Policy, candidates []policy.Policy, values []float64) policy.Policy {
@@ -163,25 +161,4 @@ func (p Preferred) Decide(old policy.Policy, candidates []policy.Policy, values 
 		}
 	}
 	return candidates[mins[0]]
-}
-
-// NewDecider constructs a decider from its table name: "simple",
-// "advanced", or "<POLICY>-preferred" (e.g. "SJF-preferred"). The name
-// must match exactly — no surrounding whitespace and nothing after the
-// suffix. (An earlier version parsed with fmt.Sscanf's %s verb, which
-// skips leading whitespace and stops at the first space, so garbage like
-// "SJF-preferred junk" or " SJF-preferred" constructed a valid decider.)
-func NewDecider(name string) (Decider, error) {
-	switch name {
-	case "simple":
-		return Simple{}, nil
-	case "advanced":
-		return Advanced{}, nil
-	}
-	if pol, ok := strings.CutSuffix(name, "-preferred"); ok && pol != "" {
-		if p, err := policy.Parse(pol); err == nil {
-			return Preferred{Policy: p}, nil
-		}
-	}
-	return nil, fmt.Errorf("core: unknown decider %q", name)
 }

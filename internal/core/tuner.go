@@ -22,11 +22,13 @@ type Decision struct {
 	Values []float64 // scores in candidate order
 }
 
-// Stats aggregates the decisions of one simulation run.
+// Stats aggregates the decisions of one simulation run. Chosen is keyed
+// by policy name (not policy value) so the counts serialize stably and
+// survive registry changes across a checkpoint restart.
 type Stats struct {
-	Steps    int                   // self-tuning steps performed
-	Switches int                   // steps that changed the active policy
-	Chosen   map[policy.Policy]int // how often each policy was chosen
+	Steps    int            // self-tuning steps performed
+	Switches int            // steps that changed the active policy
+	Chosen   map[string]int // how often each policy was chosen, by Name
 }
 
 // SelfTuner is the self-tuning dynP scheduler core. At every scheduling
@@ -107,7 +109,7 @@ func NewSelfTuner(candidates []policy.Policy, d Decider, m Metric) *SelfTuner {
 		decider:    d,
 		metric:     m,
 		active:     cs[0],
-		stats:      Stats{Chosen: make(map[policy.Policy]int)},
+		stats:      Stats{Chosen: make(map[string]int)},
 		workers:    1,
 	}
 }
@@ -150,6 +152,10 @@ func (t *SelfTuner) SetActive(p policy.Policy) {
 // Active returns the currently active policy.
 func (t *SelfTuner) Active() policy.Policy { return t.active }
 
+// Decider returns the tuner's decider mechanism, letting callers
+// discover optional capabilities (StatefulDecider, observers) on it.
+func (t *SelfTuner) Decider() Decider { return t.decider }
+
 // Candidates returns the candidate policies in canonical order.
 func (t *SelfTuner) Candidates() []policy.Policy {
 	return append([]policy.Policy(nil), t.candidates...)
@@ -182,7 +188,7 @@ func (t *SelfTuner) LastDecisionCase() string {
 // Stats returns the aggregated decision statistics so far.
 func (t *SelfTuner) Stats() Stats {
 	s := t.stats
-	s.Chosen = make(map[policy.Policy]int, len(t.stats.Chosen))
+	s.Chosen = make(map[string]int, len(t.stats.Chosen))
 	for k, v := range t.stats.Chosen {
 		s.Chosen[k] = v
 	}
@@ -349,7 +355,7 @@ func (t *SelfTuner) Plan(now int64, capacity int, running []plan.Running, waitin
 // policy. values must be a fresh slice (it is retained by LastDecision).
 func (t *SelfTuner) commit(now int64, chosen policy.Policy, values []float64) {
 	t.stats.Steps++
-	t.stats.Chosen[chosen]++
+	t.stats.Chosen[chosen.Name()]++
 	if chosen != t.active {
 		t.stats.Switches++
 	}

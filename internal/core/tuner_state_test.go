@@ -114,7 +114,7 @@ func TestTunerStateRejectsForeign(t *testing.T) {
 			t.Errorf("state %q accepted", bad)
 		}
 	}
-	if st.Active().String() != "FCFS" || st.Stats().Steps != 0 {
+	if st.Active().Name() != "FCFS" || st.Stats().Steps != 0 {
 		t.Fatal("failed restore mutated the tuner")
 	}
 }

@@ -94,12 +94,12 @@ func TestStatsCounting(t *testing.T) {
 	if got.Switches != 1 {
 		t.Errorf("Switches = %d, want 1", got.Switches)
 	}
-	if got.Chosen[policy.SJF] != 2 {
-		t.Errorf("Chosen[SJF] = %d, want 2", got.Chosen[policy.SJF])
+	if got.Chosen["SJF"] != 2 {
+		t.Errorf("Chosen[SJF] = %d, want 2", got.Chosen["SJF"])
 	}
 	// Stats must be a copy.
-	got.Chosen[policy.SJF] = 99
-	if st.Stats().Chosen[policy.SJF] == 99 {
+	got.Chosen["SJF"] = 99
+	if st.Stats().Chosen["SJF"] == 99 {
 		t.Error("Stats leaked internal map")
 	}
 }

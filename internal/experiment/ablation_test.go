@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"dynp/internal/policy"
 	"dynp/internal/workload"
 )
 
@@ -99,7 +100,7 @@ func TestComparisonSkipsMissingCells(t *testing.T) {
 		Sets:       2,
 		JobsPerSet: 100,
 		Seed:       6,
-		Schedulers: []SchedulerSpec{StaticSpec(0)},
+		Schedulers: []SchedulerSpec{StaticSpec(policy.FCFS)},
 	})
 	if err != nil {
 		t.Fatal(err)

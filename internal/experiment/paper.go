@@ -26,17 +26,20 @@ func Table1() *table.Table {
 	t := table.New("Table 1: detailed analysis of the simple decider",
 		"case", "combinations", "simple decider", "correct decision", "wrong")
 	for _, row := range core.Table1() {
-		correct := row.Correct.String()
-		if row.CorrectIsOld {
+		var correct string
+		switch {
+		case row.CorrectIsOld:
 			correct = "old policy"
-		} else if row.OldSpecific && row.Correct == row.Old {
-			correct = fmt.Sprintf("old policy (= %s)", row.Old)
+		case row.OldSpecific && row.Correct == row.Old:
+			correct = fmt.Sprintf("old policy (= %s)", row.Old.Name())
+		default:
+			correct = row.Correct.Name()
 		}
 		wrong := ""
 		if row.Wrong {
 			wrong = "X"
 		}
-		t.AddRow(row.Case, row.Combination, row.Simple.String(), correct, wrong)
+		t.AddRow(row.Case, row.Combination, row.Simple.Name(), correct, wrong)
 	}
 	return t
 }

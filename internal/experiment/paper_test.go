@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"dynp/internal/policy"
 	"dynp/internal/workload"
 )
 
@@ -187,9 +188,9 @@ func TestPolicyShares(t *testing.T) {
 	for _, r := range results {
 		for _, f := range []float64{1.0, 0.8} {
 			c := r.Cell(f, NameSJFPref)
-			if c.PolicyShare[2] > 0.5 { // policy.LJF
+			if c.PolicyShare[policy.LJF] > 0.5 { // policy.LJF
 				t.Fatalf("%s/%.1f: LJF share %v above 50%% under SJF-preferred",
-					r.Model.Name, f, c.PolicyShare[2])
+					r.Model.Name, f, c.PolicyShare[policy.LJF])
 			}
 		}
 	}

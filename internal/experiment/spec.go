@@ -23,18 +23,44 @@ type SchedulerSpec struct {
 // StaticSpec returns the spec of a basic single-policy scheduler.
 func StaticSpec(p policy.Policy) SchedulerSpec {
 	return SchedulerSpec{
-		Name: p.String(),
+		Name: p.Name(),
 		New:  func() sim.Driver { return &sim.Static{Policy: p} },
 	}
 }
 
 // DynPSpec returns the spec of a self-tuning dynP scheduler with the given
-// decider and the paper's decision metric.
+// decider and the paper's decision metric. The decider instance is shared
+// across the runs the spec constructs, so it must be stateless; resolve
+// stateful deciders by name through ParseSpec instead, which builds a
+// fresh instance per run.
 func DynPSpec(d core.Decider) SchedulerSpec {
 	return SchedulerSpec{
 		Name: "dynP/" + d.Name(),
 		New:  func() sim.Driver { return sim.NewDynP(d) },
 	}
+}
+
+// newDynPFor builds a dynP driver for the decider. A decider that
+// prefers a policy outside the paper's candidate set and says so (by
+// exposing Fair, like the adaptive shell) gets that policy appended to
+// the candidates — the tuner refuses decisions outside the set, so the
+// preferred policy must be electable.
+func newDynPFor(d core.Decider) sim.Driver {
+	if f, ok := d.(interface{ Fair() policy.Policy }); ok {
+		fair := f.Fair()
+		in := false
+		for _, c := range policy.Candidates {
+			if c == fair {
+				in = true
+				break
+			}
+		}
+		if !in {
+			cands := append(append([]policy.Policy{}, policy.Candidates...), fair)
+			return sim.NewDynPWith(cands, d, core.MetricSLDwA).SetLabel("dynP/" + d.Name())
+		}
+	}
+	return sim.NewDynP(d)
 }
 
 // DynPMetricSpec returns a dynP spec with an explicit decision metric, for
@@ -51,7 +77,7 @@ func DynPMetricSpec(d core.Decider, m core.Metric) SchedulerSpec {
 func EASYSpec(base policy.Policy) SchedulerSpec {
 	name := "EASY"
 	if base != policy.FCFS {
-		name = "EASY/" + base.String()
+		name = "EASY/" + base.Name()
 	}
 	return SchedulerSpec{
 		Name: name,
@@ -72,7 +98,18 @@ func ParseSpec(name string) (SchedulerSpec, error) {
 		if err != nil {
 			return SchedulerSpec{}, fmt.Errorf("experiment: %w", err)
 		}
-		return DynPSpec(d), nil
+		return SchedulerSpec{
+			Name: "dynP/" + d.Name(),
+			New: func() sim.Driver {
+				// Fresh decider per run: registry deciders may be
+				// stateful, and concurrent sweep runs must not share.
+				nd, err := core.NewDecider(rest)
+				if err != nil { // registry mutated since parse; unreachable in practice
+					panic(fmt.Sprintf("experiment: decider %q vanished: %v", rest, err))
+				}
+				return newDynPFor(nd)
+			},
+		}, nil
 	}
 	if name == "EASY" {
 		return EASYSpec(policy.FCFS), nil

@@ -117,7 +117,7 @@ func BenchmarkBuildFromPooled(b *testing.B) {
 		b.Run(name+"/pooled-ordered", func(b *testing.B) {
 			orders := make([][]*job.Job, len(policy.Candidates))
 			for i, p := range policy.Candidates {
-				orders[i] = p.Order(waiting)
+				orders[i] = policy.Order(p, waiting)
 			}
 			b.ResetTimer()
 			b.ReportAllocs()

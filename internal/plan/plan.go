@@ -175,7 +175,7 @@ func (b *Base) EqualFrom(o *Base, from int64) bool {
 // The waiting slice is not modified.
 func BuildFrom(b *Base, waiting []*job.Job, p policy.Policy) *Schedule {
 	s := &Schedule{}
-	buildOnto(s, b.prof.Clone(), b.Now, b.Capacity, p.Order(waiting), p)
+	buildOnto(s, b.prof.Clone(), b.Now, b.Capacity, policy.Order(p, waiting), p)
 	return s
 }
 
@@ -185,7 +185,7 @@ func BuildFrom(b *Base, waiting []*job.Job, p policy.Policy) *Schedule {
 // the Schedule itself. The caller owns the returned Schedule; if it never
 // escapes, Release recycles it.
 func BuildFromPooled(b *Base, waiting []*job.Job, p policy.Policy) *Schedule {
-	return buildPooled(b, p.Order(waiting), p)
+	return buildPooled(b, policy.Order(p, waiting), p)
 }
 
 // BuildFromOrdered is BuildFromPooled for a waiting queue that is already
@@ -226,7 +226,7 @@ func (s *Schedule) Release() {
 func Build(now int64, capacity int, running []Running, waiting []*job.Job, p policy.Policy) *Schedule {
 	b := BuildBase(now, capacity, running)
 	s := &Schedule{}
-	buildOnto(s, b.prof, b.Now, b.Capacity, p.Order(waiting), p)
+	buildOnto(s, b.prof, b.Now, b.Capacity, policy.Order(p, waiting), p)
 	return s
 }
 

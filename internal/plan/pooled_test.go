@@ -24,7 +24,7 @@ func TestPooledMatchesUnpooled(t *testing.T) {
 			want := BuildFrom(base, waiting, p)
 			got := BuildFromPooled(pooled, waiting, p)
 			assertSameSchedule(t, got, want)
-			ordered := p.Order(waiting)
+			ordered := policy.Order(p, waiting)
 			got2 := BuildFromOrdered(pooled, ordered, p)
 			assertSameSchedule(t, got2, want)
 			got.Release()

@@ -15,6 +15,7 @@ import (
 	"dynp/internal/engine"
 	"dynp/internal/job"
 	"dynp/internal/plan"
+	"dynp/internal/policy"
 )
 
 // captureCheckpointLocked serialises the current scheduler state as a
@@ -37,7 +38,7 @@ func (s *Scheduler) captureCheckpointLocked(events int64) (checkpointState, erro
 		cs.Done = append([]JobInfo(nil), s.done...)
 	}
 	if p := s.eng.Schedule(); p != nil {
-		pr := &planRec{Policy: p.Policy, Now: p.Now, Capacity: p.Capacity}
+		pr := &planRec{Policy: policyName(p.Policy), Now: p.Now, Capacity: p.Capacity}
 		for _, e := range p.Entries {
 			pr.Entries = append(pr.Entries, planEntryRec{ID: int64(e.Job.ID), Start: e.Start})
 		}
@@ -135,7 +136,14 @@ func (s *Scheduler) restoreCheckpoint(cs *checkpointState) error {
 
 	var sched *plan.Schedule
 	if cs.Plan != nil {
-		sched = &plan.Schedule{Now: cs.Plan.Now, Capacity: cs.Plan.Capacity, Policy: cs.Plan.Policy}
+		var pol policy.Policy
+		if cs.Plan.Policy != "" {
+			var err error
+			if pol, err = policy.Lookup(cs.Plan.Policy); err != nil {
+				return fmt.Errorf("rms: checkpoint plan references a policy this process does not know: %w (register it before restoring)", err)
+			}
+		}
+		sched = &plan.Schedule{Now: cs.Plan.Now, Capacity: cs.Plan.Capacity, Policy: pol}
 		for _, e := range cs.Plan.Entries {
 			jj := byID[job.ID(e.ID)]
 			if jj == nil {

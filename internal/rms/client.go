@@ -418,3 +418,23 @@ func (c *Client) Metrics() (EngineMetrics, error) {
 	}
 	return *resp.Metrics, nil
 }
+
+// Policies fetches the server's registered policy names and family
+// templates. Idempotent: retried on network failures.
+func (c *Client) Policies() ([]string, error) {
+	resp, err := c.call(Request{Op: "policies"}, true)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Policies, nil
+}
+
+// Deciders fetches the server's registered decider names and family
+// templates. Idempotent: retried on network failures.
+func (c *Client) Deciders() ([]string, error) {
+	resp, err := c.call(Request{Op: "deciders"}, true)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Deciders, nil
+}

@@ -49,7 +49,6 @@ import (
 	"strings"
 	"sync"
 
-	"dynp/internal/policy"
 	"dynp/internal/vfs"
 )
 
@@ -110,8 +109,11 @@ type planEntryRec struct {
 // planRec captures the schedule in force at checkpoint time, so a
 // restored engine can fire planned starts and compute its next action
 // time before its first replanning event, exactly like the original.
+// The policy travels by name: restore resolves it through the policy
+// registry, so journals survive registry refactors and work for any
+// registered custom policy — and fail loudly for an unregistered one.
 type planRec struct {
-	Policy   policy.Policy  `json:"policy"`
+	Policy   string         `json:"policy"`
 	Now      int64          `json:"now"`
 	Capacity int            `json:"capacity"`
 	Entries  []planEntryRec `json:"entries,omitempty"`

@@ -32,7 +32,6 @@ import (
 	"dynp/internal/engine"
 	"dynp/internal/job"
 	"dynp/internal/plan"
-	"dynp/internal/policy"
 	"dynp/internal/sim"
 )
 
@@ -182,11 +181,20 @@ func New(capacity int, driver sim.Driver, startTime int64) (*Scheduler, error) {
 		infos:   make(map[job.ID]*JobInfo),
 		doneIdx: make(map[job.ID]int),
 	}
-	s.eng = engine.New(capacity, driver, startTime, engine.WithHooks(engine.Hooks{
+	engOpts := []engine.Option{engine.WithHooks(engine.Hooks{
 		Started:  s.onStarted,
 		Finished: s.onFinished,
 		Planned:  s.onPlanned,
-	}))
+	})}
+	// Observer-driven deciders watch the engine they decide for; their
+	// observed state rides tuner checkpoints (core.StatefulDecider), so
+	// a journal restart resumes them mid-stream.
+	if dp, ok := driver.(*sim.DynP); ok {
+		if o := dp.DeciderObserver(); o != nil {
+			engOpts = append(engOpts, engine.WithObserver(o))
+		}
+	}
+	s.eng = engine.New(capacity, driver, startTime, engOpts...)
 	s.replan()
 	s.publish()
 	return s, nil
@@ -598,7 +606,7 @@ type Status struct {
 	Capacity     int // installed processors
 	FailedProcs  int // processors currently out of service
 	UsedProcs    int
-	ActivePolicy policy.Policy
+	ActivePolicy string // policy name; "" before the first plan
 	Scheduler    string
 	Waiting      []JobInfo // in planned-start order
 	Running      []JobInfo // in start order
@@ -623,7 +631,7 @@ func (s *Scheduler) statusLocked() Status {
 		Now:          s.eng.Now(),
 		Capacity:     s.eng.Capacity(),
 		FailedProcs:  s.eng.FailedProcs(),
-		ActivePolicy: s.driver.ActivePolicy(),
+		ActivePolicy: policyName(s.driver.ActivePolicy()),
 		Scheduler:    s.driver.Name(),
 		Finished:     len(s.done),
 	}

@@ -187,7 +187,7 @@ func TestDynPDriverOnline(t *testing.T) {
 	if !(si.PlannedStart < li.PlannedStart) {
 		t.Fatalf("SJF ordering violated: short %d, long %d", si.PlannedStart, li.PlannedStart)
 	}
-	if st := s.Status(); st.ActivePolicy != policy.SJF {
+	if st := s.Status(); st.ActivePolicy != "SJF" {
 		t.Fatalf("active policy = %v", st.ActivePolicy)
 	}
 }

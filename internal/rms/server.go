@@ -11,7 +11,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynp/internal/core"
 	"dynp/internal/job"
+	"dynp/internal/policy"
 )
 
 // Server exposes a Scheduler over a newline-delimited JSON protocol, the
@@ -36,6 +38,8 @@ import (
 //	                            atomic event batch (virtual mode)
 //	{"op":"health"}             liveness + readiness detail, always served
 //	{"op":"ready"}              ok iff the server is ready to take load
+//	{"op":"policies"}           registered policy names + family templates
+//	{"op":"deciders"}           registered decider names + family templates
 //
 // Responses carry {"ok":true,...} or {"ok":false,"error":"..."}. A
 // response with "busy":true was shed by overload protection, not
@@ -157,6 +161,8 @@ type Response struct {
 	Trace    []TraceEvent   `json:"trace,omitempty"`
 	Metrics  *EngineMetrics `json:"metrics,omitempty"`
 	Health   *HealthInfo    `json:"health,omitempty"`
+	Policies []string       `json:"policies,omitempty"` // policies op
+	Deciders []string       `json:"deciders,omitempty"` // deciders op
 	Now      int64          `json:"now"`
 }
 
@@ -267,6 +273,10 @@ func (sv *Server) handle(req Request, degraded bool) Response {
 		}
 		st := sv.sched.Status()
 		return Response{OK: true, Status: &st, Now: st.Now}
+	case "policies":
+		return Response{OK: true, Policies: policy.Names(), Now: sv.sched.Now()}
+	case "deciders":
+		return Response{OK: true, Deciders: core.DeciderNames(), Now: sv.sched.Now()}
 	case "trace":
 		if sv.Trace == nil {
 			return fail(fmt.Errorf("rms: tracing disabled (start the daemon with -trace)"))

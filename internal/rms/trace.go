@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"dynp/internal/engine"
+	"dynp/internal/policy"
 )
 
 // TraceEvent is the wire form of one observed engine transition, as
@@ -77,7 +78,7 @@ func (t *EventTrace) Observe(ev engine.Event) {
 		Queued:  ev.Queued,
 		Running: ev.Running,
 		Used:    ev.Used,
-		Policy:  ev.Policy.String(),
+		Policy:  policyName(ev.Policy),
 		Case:    ev.Case,
 		PlanNs:  ev.Latency.Nanoseconds(),
 	}
@@ -217,4 +218,13 @@ func (t *EventTrace) Metrics() EngineMetrics {
 		}
 	}
 	return m
+}
+
+// policyName is a nil-safe ev.Policy.Name(): a driver that has not
+// planned yet may report a nil active policy.
+func policyName(p policy.Policy) string {
+	if p == nil {
+		return ""
+	}
+	return p.Name()
 }

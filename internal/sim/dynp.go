@@ -2,6 +2,7 @@ package sim
 
 import (
 	"dynp/internal/core"
+	"dynp/internal/engine"
 	"dynp/internal/job"
 	"dynp/internal/plan"
 	"dynp/internal/policy"
@@ -42,6 +43,13 @@ func (d *DynP) SetWorkers(n int) *DynP {
 // Name implements Driver.
 func (d *DynP) Name() string { return d.label }
 
+// SetLabel overrides the driver's display name (used in results and
+// sweep columns). It returns d for chaining.
+func (d *DynP) SetLabel(label string) *DynP {
+	d.label = label
+	return d
+}
+
 // Plan implements Driver by performing one self-tuning step.
 func (d *DynP) Plan(now int64, capacity int, running []plan.Running, waiting []*job.Job) *plan.Schedule {
 	return d.Tuner.Plan(now, capacity, running, waiting)
@@ -68,6 +76,18 @@ func (d *DynP) RestoreState(data []byte) error { return d.Tuner.UnmarshalState(d
 
 // Stats exposes the tuner's decision statistics.
 func (d *DynP) Stats() core.Stats { return d.Tuner.Stats() }
+
+// DeciderObserver returns the tuner's decider when it is observer-driven
+// (implements engine.Observer), or nil. Run and the online RMS attach it
+// to their engines, so such deciders see every transition without any
+// caller-side wiring — and unobserved runs keep their allocation-free
+// emit path, since nothing is attached for plain deciders.
+func (d *DynP) DeciderObserver() engine.Observer {
+	if o, ok := d.Tuner.Decider().(engine.Observer); ok {
+		return o
+	}
+	return nil
+}
 
 // LastDecisionCase classifies the most recent self-tuning step as one of
 // the paper's Table-1 cases; the scheduling engine stamps it on every

@@ -25,7 +25,7 @@ func (e *EASY) Name() string {
 	if e.Base == policy.FCFS {
 		return "EASY"
 	}
-	return "EASY/" + e.Base.String()
+	return "EASY/" + e.Base.Name()
 }
 
 // ActivePolicy implements Driver.
@@ -46,7 +46,7 @@ func (e *EASY) Plan(now int64, capacity int, running []plan.Running, waiting []*
 	s := &plan.Schedule{Now: now, Capacity: capacity, Policy: e.Base,
 		Entries: make([]plan.Entry, 0, len(waiting))}
 
-	queue := e.Base.Order(waiting)
+	queue := policy.Order(e.Base, waiting)
 	if len(queue) == 0 {
 		return s
 	}

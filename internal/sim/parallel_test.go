@@ -25,7 +25,7 @@ func fingerprint(r *Result) string {
 	for p := range r.PolicyTime {
 		ps = append(ps, p)
 	}
-	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name() < ps[j].Name() })
 	for _, p := range ps {
 		fmt.Fprintf(&b, "policy %v=%d\n", p, r.PolicyTime[p])
 	}

@@ -43,7 +43,7 @@ type Static struct {
 }
 
 // Name implements Driver.
-func (s *Static) Name() string { return s.Policy.String() }
+func (s *Static) Name() string { return s.Policy.Name() }
 
 // Plan implements Driver.
 func (s *Static) Plan(now int64, capacity int, running []plan.Running, waiting []*job.Job) *plan.Schedule {
@@ -171,6 +171,12 @@ func Run(set *job.Set, driver Driver, opts ...Option) (*Result, error) {
 	}
 	for _, o := range cfg.observers {
 		engOpts = append(engOpts, engine.WithObserver(o))
+	}
+	// Observer-driven deciders watch the engine they decide for.
+	if dp, ok := driver.(*DynP); ok {
+		if o := dp.DeciderObserver(); o != nil {
+			engOpts = append(engOpts, engine.WithObserver(o))
+		}
 	}
 	eng := engine.New(set.Machine, driver, res.First, engOpts...)
 

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test race soak soak-disk bench bench-smoke bench-tuner bench-plan bench-plan-check bench-sim bench-sim-check bench-scale bench-scale-check bench-recover bench-recover-check fuzz repro repro-full ablations golden golden-check golden-check-registered golden-check-full clean
+.PHONY: all ci build vet fmt-check test race soak soak-disk bench bench-smoke bench-tuner bench-plan bench-plan-check bench-sim bench-sim-check bench-scale bench-scale-check bench-recover bench-recover-check bench-quote bench-quote-check fuzz repro repro-full ablations golden golden-check golden-check-registered golden-check-full clean
 
 all: build vet test
 
@@ -111,6 +111,18 @@ bench-recover:
 # bench-smoke job.
 bench-recover-check:
 	$(GO) run ./cmd/benchrecover -check BENCH_recover.json
+
+# Refresh the committed digital-twin quote snapshot: quote latency plus
+# mutator latency with and without concurrent quote load.
+bench-quote:
+	$(GO) run ./cmd/benchquote -out BENCH_quote.json
+
+# Fail when concurrent quotes inflate mutator latency beyond the
+# allowance (isolation broke: a quote path took the scheduling lock).
+# Ratios, not absolute ns, so the gate is machine-neutral. CI runs this
+# in the bench-smoke job.
+bench-quote-check:
+	$(GO) run ./cmd/benchquote -check BENCH_quote.json
 
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/swf/

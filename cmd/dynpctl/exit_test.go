@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bufio"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stubDaemon answers every request line on every connection with the
+// same canned response — just enough protocol to steer dynpctl into a
+// particular exit path.
+func stubDaemon(t *testing.T, response string) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					if _, err := conn.Write([]byte(response + "\n")); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// TestExitCodes pins the CLI's exit-code contract: 0 success, 1 error,
+// 2 usage, 4 busy shed — so scripts can tell "retry later" (4) from a
+// real rejection (1). The busy case runs with retries disabled; with
+// them enabled the client would retry through the shed instead.
+func TestExitCodes(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "dynpctl")
+	if out, err := exec.Command("go", "build", "-o", bin, "dynp/cmd/dynpctl").CombinedOutput(); err != nil {
+		t.Fatalf("build dynpctl: %v\n%s", err, out)
+	}
+
+	cases := []struct {
+		name     string
+		response string
+		args     []string
+		exit     int
+		stdout   string
+	}{
+		{
+			name:     "quote success",
+			response: `{"ok":true,"quotes":[{"width":8,"estimate":3600,"start":120,"finish":3720,"wait":120}],"now":0}`,
+			args:     []string{"quote", "-width", "8", "-estimate", "3600"},
+			exit:     0,
+			stdout:   "starts t=120 (wait 120 s)",
+		},
+		{
+			name:     "quote never starts",
+			response: `{"ok":true,"quotes":[{"width":8,"estimate":3600,"start":-1,"finish":-1,"wait":-1}],"now":0}`,
+			args:     []string{"quote", "-width", "8", "-estimate", "3600"},
+			exit:     0,
+			stdout:   "never starts at the current effective capacity",
+		},
+		{
+			name:     "busy shed exits 4",
+			response: `{"ok":false,"busy":true,"error":"rms: server busy: quote shed under load (retry)","now":0}`,
+			args:     []string{"quote", "-retries", "-1"},
+			exit:     4,
+		},
+		{
+			name:     "hard rejection exits 1",
+			response: `{"ok":false,"error":"rms: width 99 out of [1, 64] (effective capacity now 64)","now":0}`,
+			args:     []string{"quote", "-width", "99", "-retries", "-1"},
+			exit:     1,
+		},
+		{
+			name: "usage exits 2",
+			args: []string{"no-such-command"},
+			exit: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := tc.args
+			if tc.response != "" {
+				args = append(args, "-addr", stubDaemon(t, tc.response))
+			}
+			out, err := exec.Command(bin, args...).Output()
+			code := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				code = ee.ExitCode()
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			if code != tc.exit {
+				t.Errorf("dynpctl %s exited %d, want %d", strings.Join(args, " "), code, tc.exit)
+			}
+			if tc.stdout != "" && !strings.Contains(string(out), tc.stdout) {
+				t.Errorf("stdout %q does not contain %q", out, tc.stdout)
+			}
+		})
+	}
+}

@@ -18,9 +18,16 @@
 //	dynpctl ready                # readiness: exit 0 ready, 3 not ready
 //	dynpctl policies             # scheduling policies the daemon knows
 //	dynpctl deciders             # decider mechanisms the daemon knows
+//	dynpctl quote -width 8 -estimate 3600 -count 2
+//	                             # digital twin: when would these start?
+//
+// Exit codes: 0 success, 1 error, 2 usage, 3 not ready (ready), and 4
+// when the daemon shed the request under overload (busy) — scripts can
+// tell "retry later" from a real rejection.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +43,11 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	if !commands[cmd] {
+		// Reject unknown commands before dialing: a typo is a usage error
+		// (exit 2) whether or not a daemon is running.
+		usage()
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7677", "dynpd address")
 	width := fs.Int("width", 1, "processors (submit)")
@@ -44,6 +56,7 @@ func main() {
 	to := fs.Int64("to", 0, "virtual time to advance to (tick)")
 	procs := fs.Int("procs", 1, "processors to fail/restore")
 	n := fs.Int("n", 0, "engine events to fetch (trace; 0 = all buffered)")
+	count := fs.Int("count", 1, "hypothetical replicas to quote (quote)")
 	timeout := fs.Duration("timeout", rms.DefaultCallTimeout, "per-call deadline (negative disables)")
 	retries := fs.Int("retries", rms.DefaultRetries, "extra attempts for read-only calls on network failure")
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -180,6 +193,18 @@ func main() {
 		for _, name := range names {
 			fmt.Println(name)
 		}
+	case "quote":
+		qs, err := c.Quote(*width, *estimate, *count)
+		fail(err)
+		for i, q := range qs {
+			if q.Start == rms.NeverStart {
+				fmt.Printf("quote %d: width %d est %d never starts at the current effective capacity\n",
+					i+1, q.Width, q.Estimate)
+				continue
+			}
+			fmt.Printf("quote %d: width %d est %d starts t=%d (wait %d s), killed by t=%d\n",
+				i+1, q.Width, q.Estimate, q.Start, q.Wait, q.Finish)
+		}
 	case "metrics":
 		m, err := c.Metrics()
 		fail(err)
@@ -202,13 +227,19 @@ func main() {
 		if m.Dropped > 0 {
 			fmt.Printf("trace ring dropped %d events\n", m.Dropped)
 		}
-	default:
-		usage()
 	}
 }
 
+// commands is the CLI verb set; usage() prints it in this spelling.
+var commands = map[string]bool{
+	"submit": true, "done": true, "cancel": true, "job": true, "status": true,
+	"tick": true, "finished": true, "report": true, "fail": true, "restore": true,
+	"trace": true, "metrics": true, "health": true, "ready": true,
+	"policies": true, "deciders": true, "quote": true,
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dynpctl <submit|done|cancel|job|status|tick|finished|report|fail|restore|trace|metrics|health|ready|policies|deciders> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dynpctl <submit|done|cancel|job|status|tick|finished|report|fail|restore|trace|metrics|health|ready|policies|deciders|quote> [flags]")
 	os.Exit(2)
 }
 
@@ -223,8 +254,15 @@ func sortedKeys(m map[string]int64) []string {
 }
 
 func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dynpctl:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "dynpctl:", err)
+	// Overload shedding is not a verdict on the request: exit distinctly
+	// so scripts can back off and retry instead of treating it as fatal.
+	var serr *rms.ServerError
+	if errors.As(err, &serr) && serr.Busy {
+		os.Exit(4)
+	}
+	os.Exit(1)
 }

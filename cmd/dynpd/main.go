@@ -76,6 +76,10 @@ func main() {
 			"connection cap: beyond it reads are shed, beyond twice it connections are refused (0 = unlimited)")
 		readyMaxQueue = flag.Int("ready-max-queue", 0,
 			"report not-ready when more than this many jobs are waiting (0 = no watermark)")
+		quoteWorkers = flag.Int("quote-workers", rms.DefaultQuoteWorkers,
+			"concurrent digital-twin simulations for the 'quote' op (0 disables quotes)")
+		quoteMax = flag.Int("quote-max", 0,
+			"quotes in flight before shedding with busy (0 = 4x -quote-workers, negative sheds all)")
 		traceLen = flag.Int("trace", 512,
 			"engine event trace: ring-buffer length backing the 'trace' and 'metrics' ops (0 = disabled)")
 	)
@@ -85,6 +89,11 @@ func main() {
 	fail(err)
 	sched, err := rms.New(*procs, spec.New(), 0)
 	fail(err)
+	// The quote service forks twins from the same spec the live driver
+	// was built from, so twin decisions replay the live tuner's exactly.
+	if *quoteWorkers > 0 {
+		fail(sched.EnableQuotes(spec.New))
+	}
 
 	// Attach the engine observer before journal replay so the trace and
 	// metrics cover the replayed history too, exactly as if the daemon
@@ -103,6 +112,8 @@ func main() {
 	server.WriteTimeout = *writeTimeout
 	server.MaxConns = *maxConns
 	server.ReadyMaxQueue = *readyMaxQueue
+	server.QuoteWorkers = *quoteWorkers
+	server.QuoteMax = *quoteMax
 	server.Trace = trace
 	server.SetReady(false)
 	bound, err := server.Listen(*addr)

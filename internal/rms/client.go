@@ -363,6 +363,22 @@ func (c *Client) Deliver(t int64, completions []job.ID, subs []Submission) ([]Jo
 	return resp.Jobs, nil
 }
 
+// Quote asks the server's digital twin when count hypothetical jobs of
+// the given width and estimate would start if submitted now; it returns
+// one Quote per replica (count 0 means 1). Idempotent — a quote changes
+// nothing on the server — so it is retried on network failures and,
+// with backoff, on busy shed responses.
+func (c *Client) Quote(width int, estimate int64, count int) ([]Quote, error) {
+	resp, err := c.call(Request{Op: "quote", Width: width, Estimate: estimate, Count: count}, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Quotes) == 0 {
+		return nil, fmt.Errorf("rms: quote: empty response")
+	}
+	return resp.Quotes, nil
+}
+
 // Health fetches the server's health detail. It is served even while
 // the server is starting up or its journal has failed. Idempotent:
 // retried on network failures.

@@ -25,9 +25,14 @@ func FuzzServeConn(f *testing.F) {
 	f.Add([]byte(`{"op":"submit","width":-4,"estimate":-100}` + "\n"))
 	f.Add([]byte{0xff, 0xfe, '\n', '{', '}', '\n'})
 	f.Add([]byte(`{"op":"tick","to":9223372036854775807}` + "\n"))
+	f.Add([]byte(`{"op":"quote","width":4,"estimate":100,"count":2}` + "\n"))
+	f.Add([]byte(`{"op":"quote","width":-1,"estimate":0,"count":1025}` + "\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := New(8, &sim.Static{Policy: policy.FCFS}, 0)
 		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.EnableQuotes(func() sim.Driver { return &sim.Static{Policy: policy.FCFS} }); err != nil {
 			t.Fatal(err)
 		}
 		sv := NewServer(s, true)

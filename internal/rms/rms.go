@@ -132,6 +132,15 @@ type Scheduler struct {
 	// snap is the immutable read model, swapped wholesale after every
 	// mutation (see publish). Never nil once New returns.
 	snap atomic.Pointer[readSnapshot]
+
+	// Quote service state (see quote.go). quotesOn gates the extra
+	// driver-state capture in publish, so schedulers that never call
+	// EnableQuotes pay nothing; quoteNew is written once before quotesOn
+	// flips and read lock-free afterwards.
+	quotesOn  atomic.Bool
+	quoteNew  func() sim.Driver
+	twinPool  sync.Pool
+	twinsLive atomic.Int64
 }
 
 // readSnapshot is one immutable published state: a fully built Status
@@ -145,6 +154,13 @@ type readSnapshot struct {
 	report Report
 	done   []JobInfo
 	byID   map[job.ID]JobInfo // the live (waiting + running) jobs
+
+	// driverState is the driver's serialized decision state as of this
+	// snapshot, captured only while quotes are enabled (see quote.go):
+	// it is what lets a digital twin resume the live tuner's decisions
+	// without ever touching the live driver. nil for stateless drivers.
+	driverState    []byte
+	driverStateErr error
 }
 
 // publish rebuilds the read model from the current state and swaps it
@@ -158,12 +174,18 @@ func (s *Scheduler) publish() {
 	for _, ji := range st.Running {
 		byID[ji.ID] = ji
 	}
-	s.snap.Store(&readSnapshot{
+	snap := &readSnapshot{
 		status: st,
 		report: s.reportLocked(),
 		done:   s.done[:len(s.done):len(s.done)],
 		byID:   byID,
-	})
+	}
+	if s.quotesOn.Load() {
+		if sd, ok := s.driver.(engine.StatefulDriver); ok {
+			snap.driverState, snap.driverStateErr = sd.SaveState()
+		}
+	}
+	s.snap.Store(snap)
 }
 
 // New returns an online scheduler for a machine with the given capacity,
@@ -367,7 +389,8 @@ func (s *Scheduler) Submit(width int, estimate int64) (JobInfo, error) {
 	defer s.mu.Unlock()
 	defer s.publish()
 	if width < 1 || width > s.eng.Capacity() {
-		return JobInfo{}, fmt.Errorf("rms: width %d out of [1, %d]", width, s.eng.Capacity())
+		return JobInfo{}, fmt.Errorf("rms: width %d out of [1, %d] (effective capacity now %d)",
+			width, s.eng.Capacity(), s.eng.Effective())
 	}
 	if estimate < 1 {
 		return JobInfo{}, fmt.Errorf("rms: estimate %d < 1", estimate)
@@ -564,7 +587,8 @@ func (s *Scheduler) Deliver(t int64, completions []job.ID, subs []Submission) ([
 	}
 	for _, sub := range subs {
 		if sub.Width < 1 || sub.Width > s.eng.Capacity() {
-			return nil, fmt.Errorf("rms: width %d out of [1, %d]", sub.Width, s.eng.Capacity())
+			return nil, fmt.Errorf("rms: width %d out of [1, %d] (effective capacity now %d)",
+				sub.Width, s.eng.Capacity(), s.eng.Effective())
 		}
 		if sub.Estimate < 1 {
 			return nil, fmt.Errorf("rms: estimate %d < 1", sub.Estimate)

@@ -40,6 +40,10 @@ import (
 //	{"op":"ready"}              ok iff the server is ready to take load
 //	{"op":"policies"}           registered policy names + family templates
 //	{"op":"deciders"}           registered decider names + family templates
+//	{"op":"quote","width":8,"estimate":3600,"count":2}
+//	                            digital-twin prediction: when would these
+//	                            jobs start if submitted now? (needs quotes
+//	                            enabled on the scheduler)
 //
 // Responses carry {"ok":true,...} or {"ok":false,"error":"..."}. A
 // response with "busy":true was shed by overload protection, not
@@ -53,6 +57,14 @@ import (
 // execute normally, so a flood of status pollers can never starve the
 // operations that lose work when starved. Beyond that the connection is
 // answered with one busy response and closed.
+//
+// Quotes shed before reads: each quote runs a twin simulation, so the
+// quote lane is bounded even at full service — QuoteWorkers simulations
+// run concurrently and at most QuoteMax quotes may be in flight (running
+// or waiting for a worker) before further ones get busy responses. A
+// snapshot read costs an atomic load and is never shed at full service;
+// a quote is the first thing to go when load climbs, and mutators never
+// wait on either.
 type Server struct {
 	sched *Scheduler
 	// AllowTick enables the "tick" and "deliver" ops; a real-time daemon
@@ -75,8 +87,21 @@ type Server struct {
 	// jobs waiting the server reports not-ready (0 = no watermark), so
 	// load balancers and submit scripts steer work elsewhere first.
 	ReadyMaxQueue int
+	// QuoteWorkers bounds the twin simulations running concurrently for
+	// the "quote" op (0 = DefaultQuoteWorkers). Set before Listen.
+	QuoteWorkers int
+	// QuoteMax bounds the quotes in flight — running or queued for a
+	// worker — before further ones are shed with busy responses
+	// (0 = 4x QuoteWorkers; negative sheds every quote, an operational
+	// kill switch). Set before Listen.
+	QuoteMax int
 
 	ready atomic.Bool
+
+	quoteOnce    sync.Once
+	quoteSem     chan struct{}
+	quoteLimit   int64
+	quotePending atomic.Int64
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -143,6 +168,7 @@ type Request struct {
 	To          int64        `json:"to,omitempty"`
 	Procs       int          `json:"procs,omitempty"`
 	N           int          `json:"n,omitempty"`           // trace: how many recent events (0 = all buffered)
+	Count       int          `json:"count,omitempty"`       // quote: hypothetical replicas (0 = 1)
 	Completions []int64      `json:"completions,omitempty"` // deliver
 	Subs        []Submission `json:"subs,omitempty"`        // deliver
 }
@@ -163,14 +189,63 @@ type Response struct {
 	Health   *HealthInfo    `json:"health,omitempty"`
 	Policies []string       `json:"policies,omitempty"` // policies op
 	Deciders []string       `json:"deciders,omitempty"` // deciders op
+	Quotes   []Quote        `json:"quotes,omitempty"`   // quote op, one per replica
 	Now      int64          `json:"now"`
 }
 
 // readOnlyOps are the ops a degraded connection sheds: all answered
 // from the scheduler's read snapshots, all safe to retry elsewhere.
+// Quotes are in the set — and additionally bounded by their own
+// admission lane at full service, so they shed before plain reads do.
 var readOnlyOps = map[string]bool{
 	"job": true, "status": true, "finished": true,
-	"report": true, "trace": true, "metrics": true,
+	"report": true, "trace": true, "metrics": true, "quote": true,
+}
+
+// DefaultQuoteWorkers is the twin-simulation concurrency when
+// Server.QuoteWorkers is left zero.
+const DefaultQuoteWorkers = 4
+
+// initQuoteLane sizes the quote admission lane from the configuration,
+// once, on the first quote.
+func (sv *Server) initQuoteLane() {
+	workers := sv.QuoteWorkers
+	if workers <= 0 {
+		workers = DefaultQuoteWorkers
+	}
+	limit := int64(sv.QuoteMax)
+	if sv.QuoteMax == 0 {
+		limit = int64(4 * workers)
+	}
+	if limit < 0 {
+		limit = 0 // kill switch: shed every quote
+	}
+	sv.quoteSem = make(chan struct{}, workers)
+	sv.quoteLimit = limit
+}
+
+// quote runs one quote request through the bounded admission lane:
+// over-limit requests are shed immediately with a busy response, the
+// rest wait for one of the QuoteWorkers twin slots. Mutators are never
+// behind this gate — quotes only ever throttle quotes.
+func (sv *Server) quote(req Request) Response {
+	sv.quoteOnce.Do(sv.initQuoteLane)
+	if sv.quotePending.Add(1) > sv.quoteLimit {
+		sv.quotePending.Add(-1)
+		return Response{
+			Busy:  true,
+			Error: "rms: server busy: quote shed under load (retry)",
+			Now:   sv.sched.Now(),
+		}
+	}
+	sv.quoteSem <- struct{}{}
+	quotes, err := sv.sched.Quote(req.Width, req.Estimate, req.Count)
+	<-sv.quoteSem
+	sv.quotePending.Add(-1)
+	if err != nil {
+		return Response{Error: err.Error(), Now: sv.sched.Now()}
+	}
+	return Response{OK: true, Quotes: quotes, Now: sv.sched.Now()}
 }
 
 // Handle executes one request against the scheduler at full service.
@@ -273,6 +348,8 @@ func (sv *Server) handle(req Request, degraded bool) Response {
 		}
 		st := sv.sched.Status()
 		return Response{OK: true, Status: &st, Now: st.Now}
+	case "quote":
+		return sv.quote(req)
 	case "policies":
 		return Response{OK: true, Policies: policy.Names(), Now: sv.sched.Now()}
 	case "deciders":

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"dynp/internal/job"
 )
@@ -27,19 +28,32 @@ func PerfectEstimates(s *job.Set) *job.Set {
 }
 
 // ScaleEstimates returns a copy with every estimate multiplied by factor
-// (clamped below at the actual run time), interpolating between trace
-// estimates (factor 1) and arbitrarily worse ones.
+// (clamped below at the actual run time, and always at least 1 second),
+// interpolating between trace estimates (factor 1) and arbitrarily worse
+// ones. Shrinking factors on short jobs round toward zero, and a
+// zero-runtime trace row gives the run-time clamp no floor — but every
+// planner input needs a positive estimate, so the result never leaves
+// [1, MaxInt64].
 func ScaleEstimates(s *job.Set, factor float64) (*job.Set, error) {
-	if factor <= 0 {
-		return nil, fmt.Errorf("workload: estimate scale factor %v must be positive", factor)
+	if !(factor > 0) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("workload: estimate scale factor %v must be positive and finite", factor)
 	}
 	out := &job.Set{Name: fmt.Sprintf("%s/est-x%.2f", s.Name, factor),
 		Machine: s.Machine, Jobs: make([]*job.Job, len(s.Jobs))}
 	for i, j := range s.Jobs {
 		c := *j
-		c.Estimate = int64(float64(j.Estimate)*factor + 0.5)
+		if scaled := float64(j.Estimate)*factor + 0.5; scaled >= float64(math.MaxInt64) {
+			// Conversion of an out-of-range float64 to int64 is
+			// implementation-defined; saturate explicitly.
+			c.Estimate = math.MaxInt64
+		} else {
+			c.Estimate = int64(scaled)
+		}
 		if c.Estimate < c.Runtime {
 			c.Estimate = c.Runtime
+		}
+		if c.Estimate < 1 {
+			c.Estimate = 1
 		}
 		out.Jobs[i] = &c
 	}

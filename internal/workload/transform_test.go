@@ -1,8 +1,10 @@
 package workload
 
 import (
+	"math"
 	"testing"
 
+	"dynp/internal/job"
 	"dynp/internal/rng"
 )
 
@@ -66,6 +68,51 @@ func TestScaleEstimates(t *testing.T) {
 	}
 	if _, err := ScaleEstimates(set, 0); err == nil {
 		t.Fatal("factor 0 accepted")
+	}
+}
+
+// TestScaleEstimatesClamp is the regression test for the estimate
+// floor: small factors used to round short estimates to zero, and a
+// zero-runtime trace row gave the run-time clamp nothing to hold on to,
+// producing planner-illegal estimates. Every output estimate must stay
+// in [1, MaxInt64] no matter the factor.
+func TestScaleEstimatesClamp(t *testing.T) {
+	set := &job.Set{Name: "clamp", Machine: 8, Jobs: []*job.Job{
+		{ID: 1, Submit: 0, Width: 1, Estimate: 3, Runtime: 1},
+		// A raw trace row before validation: zero runtime, so the
+		// run-time clamp alone gives no floor.
+		{ID: 2, Submit: 1, Width: 1, Estimate: 4, Runtime: 0},
+		{ID: 3, Submit: 2, Width: 2, Estimate: math.MaxInt64 / 2, Runtime: 10},
+	}}
+	scaled, err := ScaleEstimates(set, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range scaled.Jobs {
+		if j.Estimate < 1 {
+			t.Errorf("job %d: factor 0.01 produced estimate %d", i, j.Estimate)
+		}
+	}
+	if got := scaled.Jobs[1].Estimate; got != 1 {
+		t.Errorf("zero-runtime row scaled to %d, want the floor 1", got)
+	}
+
+	// Huge factors saturate instead of overflowing through the
+	// implementation-defined float64 -> int64 conversion.
+	huge, err := ScaleEstimates(set, 1e10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := huge.Jobs[2].Estimate; got != math.MaxInt64 {
+		t.Errorf("overflowing scale produced %d, want MaxInt64 saturation", got)
+	}
+
+	// NaN satisfies neither factor > 0 nor factor <= 0; it must not slip
+	// through the guard. Infinities are rejected outright.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, 0} {
+		if _, err := ScaleEstimates(set, bad); err == nil {
+			t.Errorf("factor %v accepted", bad)
+		}
 	}
 }
 

@@ -54,6 +54,10 @@ type (
 	// OnlineStatefulObserver is an engine observer whose state rides
 	// along in journal checkpoints, surviving daemon restarts.
 	OnlineStatefulObserver = rms.StatefulObserver
+	// OnlineQuote is a digital-twin prediction of when a hypothetical
+	// job would start, finish and wait if submitted right now (see
+	// OnlineScheduler.EnableQuotes / Quote and the "quote" protocol op).
+	OnlineQuote = rms.Quote
 	// JournalFS abstracts the filesystem under a journal — swap in a
 	// fault-injecting implementation to test crash recovery.
 	JournalFS = vfs.FS

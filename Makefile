@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test race soak soak-disk bench bench-smoke bench-tuner bench-plan bench-plan-check bench-sim bench-sim-check bench-scale bench-scale-check bench-recover bench-recover-check bench-quote bench-quote-check fuzz repro repro-full ablations golden golden-check golden-check-registered golden-check-full clean
+.PHONY: all ci build vet fmt-check test race soak soak-disk bench bench-smoke bench-tuner bench-plan bench-plan-check bench-sim bench-sim-check bench-scale bench-scale-check bench-recover bench-recover-check bench-quote bench-quote-check fuzz repro repro-full ablations golden golden-check golden-check-registered golden-check-speculate golden-check-full clean
 
 all: build vet test
 
@@ -129,6 +129,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzServeConn -fuzztime=30s ./internal/rms/
 	$(GO) test -fuzz=FuzzJournalRecover -fuzztime=30s ./internal/rms/
 	$(GO) test -fuzz=FuzzProfileVsReference -fuzztime=30s ./internal/profile/
+	$(GO) test -fuzz=FuzzSpeculationDifferential -fuzztime=30s ./internal/sim/
 
 # Reduced-scale reproduction of every table and figure (about 4 minutes).
 repro:
@@ -161,6 +162,17 @@ golden-check:
 # the paper pipeline. CI runs this next to golden-check.
 golden-check-registered:
 	$(GO) run ./cmd/paper -register-inactive > paper_output.check.txt
+	cmp paper_output.check.txt paper_output.txt
+	rm -f paper_output.check.txt
+
+# Like golden-check, but with the speculative cross-event planning
+# pipeline enabled in every dynP tuner — plain and with the inactive
+# registrations: speculation is an execution detail that must not perturb
+# a single byte of the paper pipeline. CI runs this next to golden-check.
+golden-check-speculate:
+	$(GO) run ./cmd/paper -speculate > paper_output.check.txt
+	cmp paper_output.check.txt paper_output.txt
+	$(GO) run ./cmd/paper -register-inactive -speculate > paper_output.check.txt
 	cmp paper_output.check.txt paper_output.txt
 	rm -f paper_output.check.txt
 

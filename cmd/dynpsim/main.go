@@ -33,6 +33,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed for workload generation")
 		workers = flag.Int("workers", 0,
 			"what-if planning workers for dynP schedulers (0 = all cores, 1 = sequential)")
+		speculate = flag.Bool("speculate", false,
+			"overlap the next event's what-if builds with the current event's bookkeeping (dynP schedulers; identical results)")
 		decisions = flag.Int("decisions", 0, "print the first N self-tuning decisions")
 		cases     = flag.Bool("cases", false, "print the Table 1 case histogram of all decisions")
 		timelines = flag.Bool("timeline", false, "print queue-length and active-policy strips")
@@ -63,7 +65,7 @@ func main() {
 	fail(err)
 	driver := spec.New()
 	if d, ok := driver.(*sim.DynP); ok {
-		d.SetWorkers(*workers)
+		d.SetWorkers(*workers).SetSpeculation(*speculate)
 		if *decisions > 0 || *cases || *timelines {
 			d.Tuner.EnableTrace()
 		}
@@ -112,6 +114,10 @@ func main() {
 	if d, ok := driver.(*sim.DynP); ok {
 		st := d.Stats()
 		fmt.Printf("self-tuning: %d steps, %d policy switches\n", st.Steps, st.Switches)
+		if sp := d.SpecStats(); sp.Dispatched > 0 {
+			fmt.Printf("speculation: %d dispatched, %d hits (%.0f%%), %d misses, %d cancelled\n",
+				sp.Dispatched, sp.Hits, 100*sp.HitRate(), sp.Misses, sp.Cancelled)
+		}
 		if *decisions > 0 {
 			tr := d.Tuner.Trace()
 			if len(tr) > *decisions {

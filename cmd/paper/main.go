@@ -46,6 +46,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		tunerW   = flag.Int("tuner-workers", 0,
 			"what-if planning workers inside each dynP tuner (0/1 = sequential; simulations already run in parallel)")
+		speculate = flag.Bool("speculate", false,
+			"speculative cross-event planning inside each dynP tuner (CI: output must be byte-identical)")
 		fairness = flag.Bool("fairness", false,
 			"run the fairness study: size-based (PSBS) scheduling under estimate overestimation")
 		overestimates = flag.String("overestimates", "1,2,5",
@@ -98,6 +100,7 @@ func main() {
 			Schedulers:   schedulers,
 			Workers:      *workers,
 			TunerWorkers: *tunerW,
+			Speculate:    *speculate,
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "%s: %d traces x %d shrinks x %d schedulers x %d sets x %d jobs\n",

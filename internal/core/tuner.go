@@ -91,6 +91,12 @@ type SelfTuner struct {
 	prevValues    []float64
 	prevMaxEnds   []int64 // per-candidate MaxEstimatedEnd, for re-scoring makespan
 	prevMinStart  int64   // min planned start over all candidates' entries
+
+	// Speculative cross-event planning (see speculate.go). specCh is
+	// non-nil exactly while one speculative build is in flight.
+	specOn    bool
+	specCh    chan *specResult
+	specStats SpecStats
 }
 
 // NewSelfTuner returns a self-tuner over the given candidate policies
@@ -273,6 +279,12 @@ func (t *SelfTuner) orderedViews(waiting []*job.Job) [][]*job.Job {
 func (t *SelfTuner) Plan(now int64, capacity int, running []plan.Running, waiting []*job.Job) *plan.Schedule {
 	base := plan.BuildBasePooled(now, capacity, running)
 
+	// A verified speculative build (see speculate.go) short-circuits the
+	// whole step; tryMemo only runs when no speculation matched, so the
+	// two fast paths never double-consume an event.
+	if s := t.trySpec(now, capacity, base, waiting); s != nil {
+		return s
+	}
 	if s := t.tryMemo(now, capacity, base, waiting); s != nil {
 		return s
 	}
@@ -290,18 +302,51 @@ func (t *SelfTuner) Plan(now int64, capacity int, running []plan.Running, waitin
 	}
 	schedules := t.schedBuf[:n]
 	values := make([]float64, n)
-	ordered := t.orderedViews(waiting)
+	buildCandidates(t.candidates, t.metric, base, waiting, t.orderedViews(waiting),
+		t.Workers(), schedules, values)
+	chosen := t.decider.Decide(t.active, t.candidates, values)
 
-	build := func(i int) {
-		if ordered != nil {
-			schedules[i] = plan.BuildFromOrdered(base, ordered[i], t.candidates[i])
-		} else {
-			schedules[i] = plan.BuildFromPooled(base, waiting, t.candidates[i])
+	// Validate the decider's choice before mutating stats, trace or the
+	// active policy, so a buggy custom decider (see examples/customdecider)
+	// cannot leave the tuner with half-updated state.
+	chosenIdx := -1
+	for i, p := range t.candidates {
+		if p == chosen {
+			chosenIdx = i
+			break
 		}
-		values[i] = t.metric.Score(schedules[i])
+	}
+	if chosenIdx < 0 {
+		panic(fmt.Sprintf("core: decider %s returned non-candidate %v", t.decider.Name(), chosen))
 	}
 
-	workers := t.Workers()
+	t.commit(now, chosen, values)
+	t.saveMemo(now, capacity, base, waiting, schedules, chosenIdx, values)
+	return schedules[chosenIdx]
+}
+
+// buildCandidates fills schedules and values (parallel to candidates)
+// with one pooled what-if schedule and fused metric score per candidate,
+// all derived from the shared base. ordered, when non-nil, supplies each
+// candidate's pre-ordered waiting view (the incremental splice path);
+// otherwise every build sorts waiting itself — byte-identical output
+// either way, because the policy orders are total. workers bounds the
+// fan-out; each candidate writes only its fixed slot, so the results are
+// identical at any worker count. It is the one build loop shared by the
+// rebuild path of Plan and the speculative worker (Speculate), which is
+// what makes a verified speculation byte-for-byte a rebuild.
+func buildCandidates(candidates []policy.Policy, metric Metric, base *plan.Base,
+	waiting []*job.Job, ordered [][]*job.Job, workers int,
+	schedules []*plan.Schedule, values []float64) {
+	build := func(i int) {
+		if ordered != nil {
+			schedules[i] = plan.BuildFromOrdered(base, ordered[i], candidates[i])
+		} else {
+			schedules[i] = plan.BuildFromPooled(base, waiting, candidates[i])
+		}
+		values[i] = metric.Score(schedules[i])
+	}
+	n := len(candidates)
 	if workers > n {
 		workers = n
 	}
@@ -326,29 +371,10 @@ func (t *SelfTuner) Plan(now int64, capacity int, running []plan.Running, waitin
 		}
 		wg.Wait()
 	} else {
-		for i := range t.candidates {
+		for i := 0; i < n; i++ {
 			build(i)
 		}
 	}
-	chosen := t.decider.Decide(t.active, t.candidates, values)
-
-	// Validate the decider's choice before mutating stats, trace or the
-	// active policy, so a buggy custom decider (see examples/customdecider)
-	// cannot leave the tuner with half-updated state.
-	chosenIdx := -1
-	for i, p := range t.candidates {
-		if p == chosen {
-			chosenIdx = i
-			break
-		}
-	}
-	if chosenIdx < 0 {
-		panic(fmt.Sprintf("core: decider %s returned non-candidate %v", t.decider.Name(), chosen))
-	}
-
-	t.commit(now, chosen, values)
-	t.saveMemo(now, capacity, base, waiting, schedules, chosenIdx, values)
-	return schedules[chosenIdx]
 }
 
 // commit applies one decision to the tuner's statistics, trace and active

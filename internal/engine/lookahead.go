@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"dynp/internal/job"
+	"dynp/internal/plan"
+)
+
+// Lookaheader is an optional Driver extension for virtual-clock front
+// ends that know their next scheduling event deterministically — the
+// next submission is in the job set, the next completion was scheduled
+// when the job launched. Such a front end can predict the *inputs* of
+// its next Plan call exactly and hand them to the driver right after the
+// current event commits; a speculating driver (sim.DynP over
+// core.SelfTuner) overlaps the next event's what-if builds with the
+// front end's bookkeeping and verifies the prediction when Plan actually
+// arrives.
+//
+// The protocol is advisory end to end: a driver is free to ignore
+// Lookahead calls, and a front end that never calls it loses nothing but
+// the overlap. Predictions are verified-or-discarded by the driver, so a
+// wrong prediction (a kill-at-estimate that did not happen, a failed
+// proc) costs one discarded build, never correctness.
+type Lookaheader interface {
+	// SpeculationEnabled reports whether the driver currently consumes
+	// predictions. Front ends check it once per run and skip the
+	// prediction snapshots entirely when off.
+	SpeculationEnabled() bool
+
+	// Lookahead hands the driver the predicted inputs of the next Plan
+	// call: the event instant, the effective capacity, and the machine
+	// state after that instant's transitions. Ownership of both slices
+	// transfers to the driver — the caller must build fresh ones per
+	// call and never mutate them afterwards (the jobs they reference
+	// are shared but immutable).
+	Lookahead(now int64, capacity int, running []plan.Running, waiting []*job.Job)
+
+	// CancelLookahead discards any in-flight speculative work. Front
+	// ends call it when no further Plan call will consume a prediction
+	// (end of run, driver teardown); it is idempotent.
+	CancelLookahead()
+}

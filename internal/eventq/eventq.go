@@ -43,6 +43,32 @@ func (q *Queue[T]) Peek() (ev Event[T], ok bool) {
 	return q.heap[0].Event, true
 }
 
+// PopIf removes and returns the next event only when it is scheduled at
+// exactly the given instant; ok is false (and the queue untouched) when
+// the queue is empty or its head lies at another time. Event loops that
+// drain one instant completely use it to fuse the Peek-compare-Pop
+// sequence into a single heap inspection.
+func (q *Queue[T]) PopIf(time int64) (ev Event[T], ok bool) {
+	if len(q.heap) == 0 || q.heap[0].Time != time {
+		return ev, false
+	}
+	return q.Pop()
+}
+
+// Reserve grows the queue's storage so at least n more events can be
+// pushed without reallocating. Simulation harnesses that know the event
+// volume up front (every job submits once and finishes once) pre-size the
+// heap instead of growing it push by push — which adds up when thousands
+// of replica runs each build their own queue (sim.RunParallel).
+func (q *Queue[T]) Reserve(n int) {
+	if cap(q.heap)-len(q.heap) >= n {
+		return
+	}
+	heap := make([]entry[T], len(q.heap), len(q.heap)+n)
+	copy(heap, q.heap)
+	q.heap = heap
+}
+
 // Pop removes and returns the next event. ok is false when the queue is
 // empty.
 func (q *Queue[T]) Pop() (ev Event[T], ok bool) {

@@ -138,3 +138,101 @@ func TestPropertyHeapMatchesSort(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPopIf(t *testing.T) {
+	var q Queue[string]
+	if _, ok := q.PopIf(0); ok {
+		t.Fatal("PopIf on empty queue reported ok")
+	}
+	q.Push(10, 1, "submit")
+	q.Push(10, 0, "finish")
+	q.Push(20, 0, "later")
+
+	if _, ok := q.PopIf(5); ok {
+		t.Fatal("PopIf popped at the wrong instant")
+	}
+	if q.Len() != 3 {
+		t.Fatal("a refused PopIf modified the queue")
+	}
+
+	// Draining one instant preserves the class-then-FIFO dispatch order.
+	var batch []string
+	for {
+		ev, ok := q.PopIf(10)
+		if !ok {
+			break
+		}
+		batch = append(batch, ev.Payload)
+	}
+	if len(batch) != 2 || batch[0] != "finish" || batch[1] != "submit" {
+		t.Fatalf("batch = %v, want [finish submit]", batch)
+	}
+	if ev, ok := q.PopIf(20); !ok || ev.Payload != "later" {
+		t.Fatalf("PopIf(20) = %v ok=%v", ev.Payload, ok)
+	}
+	if _, ok := q.PopIf(20); ok {
+		t.Fatal("PopIf on drained queue reported ok")
+	}
+}
+
+func TestPopIfMatchesPeekPop(t *testing.T) {
+	// PopIf(t) is exactly the Peek-compare-Pop sequence it replaces:
+	// two queues built by the same push sequence drain identically.
+	rnd := rand.New(rand.NewSource(7))
+	var a, b Queue[int]
+	for i := 0; i < 500; i++ {
+		tm, cl := int64(rnd.Intn(50)), rnd.Intn(2)
+		a.Push(tm, cl, i)
+		b.Push(tm, cl, i)
+	}
+	for a.Len() > 0 {
+		head, _ := a.Peek()
+		now := head.Time
+		for {
+			h, ok := a.Peek()
+			if !ok || h.Time != now {
+				break
+			}
+			want, _ := a.Pop()
+			got, ok := b.PopIf(now)
+			if !ok || got != want {
+				t.Fatalf("PopIf(%d) = %+v ok=%v, Peek+Pop = %+v", now, got, ok, want)
+			}
+		}
+		if _, ok := b.PopIf(now); ok {
+			t.Fatalf("PopIf(%d) overran the instant", now)
+		}
+	}
+}
+
+func TestReserve(t *testing.T) {
+	var q Queue[int]
+	q.Push(3, 0, 3)
+	q.Push(1, 0, 1)
+	q.Reserve(100)
+	if q.Len() != 2 {
+		t.Fatalf("Reserve changed Len to %d", q.Len())
+	}
+	// No reallocation across 100 pushes after the reservation.
+	before := cap(q.heap)
+	for i := 0; i < 100; i++ {
+		q.Push(int64(i), 0, i)
+	}
+	if cap(q.heap) != before {
+		t.Fatalf("heap reallocated from %d to %d despite Reserve", before, cap(q.heap))
+	}
+	// A no-op when capacity already suffices.
+	q.Reserve(0)
+	if cap(q.heap) != before {
+		t.Fatal("redundant Reserve reallocated")
+	}
+	// Ordering intact after the copy.
+	last := int64(-1)
+	for q.Len() > 0 {
+		ev, _ := q.Pop()
+		if ev.Time < last {
+			t.Fatalf("order violated after Reserve: %d after %d", ev.Time, last)
+		}
+		last = ev.Time
+	}
+}

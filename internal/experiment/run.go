@@ -34,6 +34,12 @@ type Config struct {
 	// value.
 	TunerWorkers int
 
+	// Speculate enables the speculative cross-event planning pipeline in
+	// every dynP driver of the sweep (core.SelfTuner.SetSpeculation).
+	// Results are identical with or without — the golden checks prove it
+	// byte-for-byte — only the serial/overlapped execution shape changes.
+	Speculate bool
+
 	// Progress, when set, is invoked after each completed simulation.
 	// Calls are serialized (never concurrent) and done is strictly
 	// increasing from 1 to the final task count, regardless of the worker
@@ -149,8 +155,11 @@ func Run(cfg Config) (*Result, error) {
 	err = shard.Run(workers, len(tasks), func(i int) error {
 		tk := tasks[i]
 		driver := cfg.Schedulers[tk.schedIdx].New()
-		if d, ok := driver.(*sim.DynP); ok && cfg.TunerWorkers != 0 {
-			d.SetWorkers(cfg.TunerWorkers)
+		if d, ok := driver.(*sim.DynP); ok {
+			if cfg.TunerWorkers != 0 {
+				d.SetWorkers(cfg.TunerWorkers)
+			}
+			d.SetSpeculation(cfg.Speculate)
 		}
 		res, err := sim.Run(shrunk[tk.shrinkIdx][tk.setIdx], driver)
 		if err != nil {

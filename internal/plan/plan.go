@@ -205,12 +205,35 @@ func buildPooled(b *Base, ordered []*job.Job, p policy.Policy) *Schedule {
 	return s
 }
 
+// ReleaseSchedules releases every non-nil schedule in ss and nils the
+// slots, for owners discarding a whole batch of pooled builds at once —
+// the self-tuner's speculative pipeline uses it when a prediction missed
+// and none of the prebuilt candidates can be consumed. The slots are
+// nilled so a second sweep over the same slice cannot double-release.
+func ReleaseSchedules(ss []*Schedule) {
+	for i, s := range ss {
+		if s != nil {
+			s.Release()
+			ss[i] = nil
+		}
+	}
+}
+
 // Release returns a schedule's storage (the Entry slice and the Schedule
 // struct itself) to the pool. Only an owner that knows no other reference
 // exists may call it: the self-tuner releases the losing what-if
 // candidates after scoring, which never escape it; the chosen schedule is
 // handed to the caller and must NOT be released by the tuner. Double
 // release panics.
+//
+// Ownership may cross goroutines: the speculative planning pipeline
+// builds pooled bases and schedules on a worker goroutine and hands them
+// to the consuming goroutine over a channel, whose send/receive pair
+// orders the builder's writes before the consumer's reads. The pools
+// themselves are sync.Pools, safe for that traffic; the
+// release-exactly-once discipline (enforced by the double-release
+// panics here and in Base.Release) is what keeps an arena from serving
+// two owners at once.
 func (s *Schedule) Release() {
 	if s.released {
 		panic("plan: Schedule released twice")

@@ -139,6 +139,7 @@ type Scheduler struct {
 	// flips and read lock-free afterwards.
 	quotesOn  atomic.Bool
 	quoteNew  func() sim.Driver
+	quoteSpec atomic.Bool
 	twinPool  sync.Pool
 	twinsLive atomic.Int64
 }

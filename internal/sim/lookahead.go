@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"dynp/internal/engine"
+	"dynp/internal/job"
+	"dynp/internal/plan"
+)
+
+// SpeculateNextKills hands a speculating driver the predicted inputs of
+// the planning step that engine.AdvanceTo(next, false) is about to run —
+// the second lookahead front end besides Run's event loop, used by
+// twin-style replays (the rms quote service) whose jobs all finish by
+// estimate expiry.
+//
+// AdvanceTo replans exactly when KillExpired removed a job, so the
+// prediction is dispatched only when some running job's estimate expires
+// by next; the planning step then sees now = next, the unchanged
+// effective capacity, the running set minus every expired job, and the
+// waiting queue minus the jobs the replanning step itself withholds as
+// unplaceable (wider than the effective capacity — mirrored here so the
+// elementwise waiting-set verification holds under failed processors).
+// When no expiry is due — the next action is a planned start, which
+// launches without replanning — no prediction is dispatched and the call
+// is free. As everywhere in the pipeline, a wrong prediction (a stuck
+// self-heal replan, a capacity change) is discarded by verification, so
+// callers may over- or under-predict without affecting results.
+//
+// spec may be nil or disabled; the call is then a no-op.
+func SpeculateNextKills(spec engine.Lookaheader, eng *engine.Engine, next int64) {
+	if spec == nil || !spec.SpeculationEnabled() {
+		return
+	}
+	eff := eng.Effective()
+	if eff < 1 {
+		return // a drained machine replans to a nil schedule, no Plan call
+	}
+	expiring := false
+	for _, r := range eng.Running() {
+		if r.EstimatedEnd() <= next {
+			expiring = true
+			break
+		}
+	}
+	if !expiring {
+		return
+	}
+	cur := eng.Running()
+	running := make([]plan.Running, 0, len(cur))
+	for _, r := range cur {
+		if r.EstimatedEnd() > next {
+			running = append(running, r)
+		}
+	}
+	queued := eng.Waiting()
+	waiting := make([]*job.Job, 0, len(queued))
+	for _, j := range queued {
+		if j.Width <= eff {
+			waiting = append(waiting, j)
+		}
+	}
+	spec.Lookahead(next, eff, running, waiting)
+}

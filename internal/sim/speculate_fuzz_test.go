@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dynp/internal/core"
+	"dynp/internal/engine"
+	"dynp/internal/job"
+)
+
+// FuzzSpeculationDifferential drives two identical engines — one with
+// the speculative pipeline on, one spec-off as the oracle — through the
+// same fuzzer-chosen interleaving of submissions, kill-at-estimate
+// advances and processor fail/restore events, and requires bit-identical
+// outcomes. Proc fails are injected between a dispatched prediction and
+// the advance that would consume it, so the fuzzer explores exactly the
+// regime where speculation misses: stale capacity, victims killed off
+// the predicted running set, waiting queues split by the unplaceable
+// filter. The differential holds regardless — misses discard, hits
+// consume, results never differ.
+func FuzzSpeculationDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{0, 4, 2, 5, 2, 0, 1, 2, 3, 2})
+	f.Add([]byte{8, 16, 2, 2, 10, 2, 42, 7, 2, 3, 2, 99, 2})
+	f.Add([]byte{0, 0, 0, 0, 2, 2, 2, 2, 5, 10, 2, 3, 3, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		run := func(spec bool) (string, core.SpecStats) {
+			d := NewDynP(core.Advanced{}).SetWorkers(1).SetSpeculation(spec)
+			d.Tuner.EnableTrace()
+			eng := engine.New(16, d, 0)
+			defer d.CancelLookahead()
+			var la engine.Lookaheader
+			if spec {
+				la = d
+			}
+			var id job.ID
+			for i := 0; i < len(data); i++ {
+				op := data[i]
+				switch op % 4 {
+				case 0, 1: // submit one job and replan
+					id++
+					est := int64(1 + int(op)%97)
+					eng.Submit(&job.Job{
+						ID: id, Submit: eng.Now(), Width: 1 + int(op/4)%8,
+						Estimate: est, Runtime: est,
+					})
+					if err := eng.Replan(); err != nil {
+						t.Fatal(err)
+					}
+				case 2: // advance through the next automatic action
+					next, ok := eng.NextActionTime(false)
+					if !ok {
+						continue
+					}
+					SpeculateNextKills(la, eng, next)
+					// Sometimes yank a processor after the prediction was
+					// dispatched — the canonical speculation-invalidation.
+					if i+1 < len(data) && data[i+1]%5 == 0 && eng.Effective() > 2 {
+						eng.FailProcs(1)
+						if err := eng.Replan(); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if err := eng.AdvanceTo(next, false); err != nil {
+						t.Fatal(err)
+					}
+					if eng.Now() < next {
+						eng.JumpTo(next)
+					}
+				case 3: // restore a failed processor and replan
+					if eng.FailedProcs() > 0 {
+						eng.RestoreProcs(1)
+						if err := eng.Replan(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			d.CancelLookahead()
+
+			var b strings.Builder
+			fmt.Fprintf(&b, "now=%d eff=%d active=%v\n", eng.Now(), eng.Effective(), d.ActivePolicy())
+			for _, r := range eng.Running() {
+				fmt.Fprintf(&b, "run %d@%d\n", r.Job.ID, r.Start)
+			}
+			for _, j := range eng.Waiting() {
+				fmt.Fprintf(&b, "wait %d\n", j.ID)
+			}
+			b.WriteString(traceFingerprint(d.Tuner.Trace()))
+			return b.String(), d.SpecStats()
+		}
+
+		want, oracleStats := run(false)
+		got, stats := run(true)
+		if got != want {
+			t.Fatalf("speculation changed the outcome:\n--- spec-off\n%s\n--- spec-on\n%s", want, got)
+		}
+		if oracleStats.Dispatched != 0 {
+			t.Fatalf("spec-off run dispatched %d speculative builds", oracleStats.Dispatched)
+		}
+		if total := stats.Hits + stats.Misses + stats.Cancelled; total != stats.Dispatched {
+			t.Fatalf("speculation outcomes %+v do not account for every dispatch", stats)
+		}
+	})
+}
